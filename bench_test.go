@@ -1,0 +1,403 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation, the ablations called out in DESIGN.md, and substrate
+// micro-benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches report the reproduced metrics through
+// b.ReportMetric (precision/recall/F1 as fractions), so `go test
+// -bench=Table2` regenerates Table 2's row next to the timing.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/ner"
+	"repro/internal/nlp/depparse"
+	"repro/internal/patterns"
+	"repro/internal/qald"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
+	"repro/internal/triplex"
+)
+
+var (
+	sysOnce sync.Once
+	sys     *core.System
+)
+
+func sharedSystem(b *testing.B) *core.System {
+	b.Helper()
+	sysOnce.Do(func() { sys = core.Default() })
+	return sys
+}
+
+// --- Figure 1: the dependency graph of the running example ---
+
+// BenchmarkFigure1DependencyGraph regenerates Figure 1: the dependency
+// parse of "Which book is written by Orhan Pamuk" (root `written`,
+// nsubjpass/det/auxpass/prep/pobj edges).
+func BenchmarkFigure1DependencyGraph(b *testing.B) {
+	const sentence = "Which book is written by Orhan Pamuk?"
+	var g *depparse.Graph
+	for i := 0; i < b.N; i++ {
+		g = depparse.MustParse(sentence)
+	}
+	if g.Nodes[g.Root].Word != "written" {
+		b.Fatalf("Figure 1 root = %q", g.Nodes[g.Root].Word)
+	}
+}
+
+// --- Table 1: expected answer types ---
+
+// BenchmarkTable1ExpectedTypes regenerates Table 1 by extracting the
+// expected answer type for one question of each question word.
+func BenchmarkTable1ExpectedTypes(b *testing.B) {
+	rows := []struct {
+		question string
+		want     triplex.ExpectedKind
+	}{
+		{"Who wrote The Time Machine?", triplex.ExpectPerson},
+		{"Where did Abraham Lincoln die?", triplex.ExpectPlace},
+		{"When did Frank Herbert die?", triplex.ExpectDate},
+		{"How many people live in Istanbul?", triplex.ExpectNumeric},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, row := range rows {
+			ext, err := triplex.Extract(row.question)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ext.Expected.Kind != row.want {
+				b.Fatalf("%q: expected %v, got %v", row.question, row.want, ext.Expected.Kind)
+			}
+		}
+	}
+}
+
+// --- Table 2: the headline evaluation ---
+
+// BenchmarkTable2QALDEvaluation regenerates Table 2: the full pipeline
+// over the 55-question QALD-2-style set. Reported metrics are fractions
+// (paper: precision 0.83, recall 0.32, F1 0.46).
+func BenchmarkTable2QALDEvaluation(b *testing.B) {
+	s := sharedSystem(b)
+	qs := qald.Questions()
+	var rep *qald.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = qald.Evaluate(s, qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Precision, "precision")
+	b.ReportMetric(rep.Recall, "recall")
+	b.ReportMetric(rep.F1, "F1")
+}
+
+// --- Ablations (DESIGN.md) ---
+
+func benchmarkAblation(b *testing.B, cfg core.Config) {
+	s := core.New(cfg)
+	qs := qald.Questions()
+	var rep *qald.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = qald.Evaluate(s, qs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Precision, "precision")
+	b.ReportMetric(rep.Recall, "recall")
+	b.ReportMetric(rep.F1, "F1")
+}
+
+// BenchmarkAblationNoPatterns evaluates without §2.2.3 relational
+// patterns (string similarity + WordNet only).
+func BenchmarkAblationNoPatterns(b *testing.B) {
+	benchmarkAblation(b, core.Config{DisablePatterns: true})
+}
+
+// BenchmarkAblationNoWordNet evaluates without the §2.2.1 property
+// synonym pairs.
+func BenchmarkAblationNoWordNet(b *testing.B) {
+	benchmarkAblation(b, core.Config{DisableWordNetSynonyms: true})
+}
+
+// BenchmarkAblationNoTypeCheck evaluates without §2.3.2 expected-type
+// checking.
+func BenchmarkAblationNoTypeCheck(b *testing.B) {
+	benchmarkAblation(b, core.Config{DisableTypeCheck: true})
+}
+
+// BenchmarkAblationNoCentrality evaluates with string-similarity-only
+// entity disambiguation (no page-link centrality).
+func BenchmarkAblationNoCentrality(b *testing.B) {
+	benchmarkAblation(b, core.Config{DisableCentrality: true})
+}
+
+// BenchmarkExtensionFutureWork evaluates the paper's §6 future-work
+// extensions (boolean ASK answering + COUNT aggregation + superlative
+// extremisation): recall rises well above Table 2's 32 % while
+// precision holds.
+func BenchmarkExtensionFutureWork(b *testing.B) {
+	benchmarkAblation(b, core.Config{
+		EnableBoolean: true, EnableAggregation: true, EnableSuperlatives: true})
+}
+
+// BenchmarkBaselineKeyword evaluates the naive keyword baseline on the
+// same 55-question set: it answers slightly more questions but with far
+// lower precision — the gap is the paper's contribution.
+func BenchmarkBaselineKeyword(b *testing.B) {
+	k := kb.Default()
+	bl := baseline.New(k)
+	qs := qald.Questions()
+	var answered, correct int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answered, correct = 0, 0
+		for _, q := range qs {
+			gold, err := qald.Gold(k, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := bl.Answer(q.Text)
+			if !res.Answered() {
+				continue
+			}
+			answered++
+			if termSetEqual(res.Answers, gold) {
+				correct++
+			}
+		}
+	}
+	p := float64(correct) / float64(answered)
+	r := float64(answered) / float64(len(qs))
+	b.ReportMetric(p, "precision")
+	b.ReportMetric(r, "recall")
+	b.ReportMetric(2*p*r/(p+r), "F1")
+}
+
+func termSetEqual(a, b []rdf.Term) bool {
+	if len(b) == 0 {
+		return false
+	}
+	as := map[rdf.Term]bool{}
+	for _, t := range a {
+		as[t] = true
+	}
+	bs := map[rdf.Term]bool{}
+	for _, t := range b {
+		bs[t] = true
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for t := range as {
+		if !bs[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkPatternNoiseSweep sweeps the corpus cross-relation noise
+// rate (the PATTY defect the paper discusses) and reports F1 at each
+// level; rising noise degrades property ranking.
+func BenchmarkPatternNoiseSweep(b *testing.B) {
+	for _, noise := range []float64{0.0, 0.04, 0.2, 0.5} {
+		b.Run(fmt.Sprintf("noise=%.2f", noise), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Corpus.NoiseRate = noise
+			s := core.New(cfg)
+			qs := qald.Questions()
+			var rep *qald.Report
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = qald.Evaluate(s, qs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Precision, "precision")
+			b.ReportMetric(rep.F1, "F1")
+		})
+	}
+}
+
+// --- End-to-end latency per question category ---
+
+func BenchmarkAnswerEndToEnd(b *testing.B) {
+	s := sharedSystem(b)
+	cases := []struct{ name, q string }{
+		{"passive-wh", "Which book is written by Orhan Pamuk?"},
+		{"copular-wh", "Who is the mayor of Berlin?"},
+		{"how-adj", "How tall is Michael Jordan?"},
+		{"where-did", "Where did Abraham Lincoln die?"},
+		{"active-wh", "Who wrote The Time Machine?"},
+		{"unanswerable", "Is Frank Herbert still alive?"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Answer(c.q)
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkStoreInsert(b *testing.B) {
+	b.ReportAllocs()
+	st := store.New()
+	for i := 0; i < b.N; i++ {
+		st.Add(rdf.Triple{
+			S: rdf.Res(fmt.Sprintf("S%d", i%10000)),
+			P: rdf.Ont(fmt.Sprintf("p%d", i%16)),
+			O: rdf.NewInteger(int64(i)),
+		})
+	}
+}
+
+func BenchmarkStoreMatchBound(b *testing.B) {
+	k := kb.Default()
+	pat := rdf.Triple{P: rdf.Ont("author"), O: rdf.Res("Orhan_Pamuk")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := k.Store.Count(pat); n != 5 {
+			b.Fatalf("count = %d", n)
+		}
+	}
+}
+
+func BenchmarkSPARQLTwoPatternJoin(b *testing.B) {
+	k := kb.Default()
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk . }`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.Execute(k.Store, q)
+		if err != nil || len(res.Solutions) != 5 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkSPARQLFilterScan(b *testing.B) {
+	k := kb.Default()
+	q := sparql.MustParse(`SELECT ?x WHERE { ?x dbont:populationTotal ?p . FILTER(?p > 3000000) }`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Execute(k.Store, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSPARQLParse(b *testing.B) {
+	b.ReportAllocs()
+	const src = `SELECT DISTINCT ?x WHERE { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk . FILTER(BOUND(?x)) } ORDER BY ?x LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDependencyParse(b *testing.B) {
+	b.ReportAllocs()
+	sentences := []string{
+		"Which book is written by Orhan Pamuk?",
+		"What is the height of Michael Jordan?",
+		"How many people live in Istanbul?",
+	}
+	for i := 0; i < b.N; i++ {
+		depparse.MustParse(sentences[i%len(sentences)])
+	}
+}
+
+func BenchmarkPatternMining(b *testing.B) {
+	k := kb.Default()
+	corpus := k.Corpus(kb.DefaultCorpusConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		patterns.Mine(k, corpus, patterns.DefaultMinerConfig())
+	}
+}
+
+func BenchmarkNEDResolve(b *testing.B) {
+	k := kb.Default()
+	linker := ner.NewLinker(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := linker.Resolve("Michael Jordan", "Chicago Bulls"); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+func BenchmarkKBBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kb.Build(kb.DefaultConfig())
+	}
+}
+
+// BenchmarkStoreScale measures indexed matching at growing store sizes
+// (the substrate's scaling behaviour under the synthetic long tail).
+func BenchmarkStoreScale(b *testing.B) {
+	for _, persons := range []int{100, 1000, 5000} {
+		k := kb.Build(kb.Config{Seed: 3, SyntheticPersons: persons,
+			SyntheticCities: persons / 5, SyntheticBooks: persons / 2})
+		b.Run(fmt.Sprintf("persons=%d/triples=%d", persons, k.Store.Len()), func(b *testing.B) {
+			pat := rdf.Triple{P: rdf.Ont("birthPlace")}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Store.Count(pat)
+			}
+		})
+	}
+}
+
+// BenchmarkSPARQLScale measures the two-pattern join at growing sizes.
+func BenchmarkSPARQLScale(b *testing.B) {
+	for _, persons := range []int{100, 1000, 5000} {
+		k := kb.Build(kb.Config{Seed: 3, SyntheticPersons: persons,
+			SyntheticCities: persons / 5, SyntheticBooks: persons / 2})
+		q := sparql.MustParse(`SELECT ?p ?c WHERE { ?p rdf:type dbont:Person . ?p dbont:birthPlace ?c . } LIMIT 50`)
+		b.Run(fmt.Sprintf("persons=%d", persons), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sparql.Execute(k.Store, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRoundTrip measures the binary snapshot dump/load.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	k := kb.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := k.Store.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.ReadSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

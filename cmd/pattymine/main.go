@@ -1,0 +1,79 @@
+// Command pattymine runs the PATTY-style relational pattern miner
+// (§2.2.3) over the synthetic corpus and prints the mined resource: the
+// top patterns with their property distributions, the word→property
+// frequency table the QA pipeline uses, the synonym groups and a slice
+// of the subsumption taxonomy.
+//
+// Usage:
+//
+//	pattymine [-top 25] [-noise 0.04] [-word die]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/kb"
+	"repro/internal/patterns"
+)
+
+func main() {
+	top := flag.Int("top", 25, "number of patterns to print")
+	noise := flag.Float64("noise", 0.04, "corpus cross-relation noise rate")
+	word := flag.String("word", "die", "word to show the §2.2.3 lookup for")
+	flag.Parse()
+
+	k := kb.Default()
+	cfg := kb.DefaultCorpusConfig()
+	cfg.NoiseRate = *noise
+	corpus := k.Corpus(cfg)
+	st := patterns.Mine(k, corpus, patterns.DefaultMinerConfig())
+
+	fmt.Printf("corpus: %d sentences; mined %d patterns over %d words\n\n",
+		len(corpus), len(st.Patterns()), len(st.Words()))
+
+	fmt.Printf("top %d patterns by support:\n", *top)
+	for i, p := range st.Patterns() {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-28q support=%-4d ", p.Text, p.SupportSize())
+		for _, pf := range st.PropertiesForPattern(p.Text) {
+			fmt.Printf(" %s:%d", pf.Property.LocalName(), pf.Freq)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n§2.2.3 lookup for %q (ranked by frequency):\n", *word)
+	for _, pf := range st.PropertiesForWord(*word) {
+		fmt.Printf("  %-28s freq=%-4d forward=%-4d inverse=%d\n",
+			pf.Property.String(), pf.Freq, pf.Forward, pf.Inverse)
+	}
+
+	groups := st.SynonymGroups()
+	fmt.Printf("\nsynonym groups (mutual support inclusion): %d\n", len(groups))
+	for i, g := range groups {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more\n", len(groups)-10)
+			break
+		}
+		fmt.Printf("  %v\n", g)
+	}
+
+	fmt.Println("\nsubsumption samples:")
+	shown := 0
+	for _, p := range st.Patterns() {
+		subs := st.Subsumed(p.Text)
+		if len(subs) == 0 {
+			continue
+		}
+		fmt.Printf("  %q subsumes %v\n", p.Text, subs)
+		shown++
+		if shown >= 10 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (none at this support threshold)")
+	}
+}

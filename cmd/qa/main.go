@@ -1,0 +1,157 @@
+// Command qa answers natural language questions over the built-in
+// DBpedia-like knowledge base, optionally printing the full pipeline
+// trace (dependency graph, extracted triples, candidate properties and
+// SPARQL queries) the paper walks through in §2.
+//
+// Usage:
+//
+//	qa [-explain] [-top N] [-kb file.nt] "Which book is written by Orhan Pamuk?"
+//	qa -i       # interactive: one question per line on stdin
+//
+// With no arguments it answers a demonstration set of questions.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+)
+
+func main() {
+	explain := flag.Bool("explain", false, "print the full pipeline trace")
+	top := flag.Int("top", 5, "number of candidate queries to show with -explain")
+	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
+	interactive := flag.Bool("i", false, "interactive mode: read one question per line from stdin")
+	flag.Parse()
+
+	var sys *core.System
+	if *kbPath != "" {
+		f, err := os.Open(*kbPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qa:", err)
+			os.Exit(1)
+		}
+		loaded, err := kb.Load(f, *kbPath)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qa:", err)
+			os.Exit(1)
+		}
+		cfg := core.DefaultConfig()
+		cfg.KB = loaded
+		sys = core.New(cfg)
+	} else {
+		sys = core.Default()
+	}
+
+	if *interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Print("> ")
+		for sc.Scan() {
+			q := strings.TrimSpace(sc.Text())
+			if q == "" || q == "exit" || q == "quit" {
+				break
+			}
+			answerOne(sys, q, *explain, *top)
+			fmt.Print("> ")
+		}
+		return
+	}
+
+	questions := flag.Args()
+	if len(questions) == 0 {
+		questions = []string{
+			"Which book is written by Orhan Pamuk?",
+			"How tall is Michael Jordan?",
+			"Where did Abraham Lincoln die?",
+			"Is Frank Herbert still alive?",
+		}
+	}
+	question := strings.Join(questions, " ")
+	if len(flag.Args()) > 1 && strings.Contains(flag.Args()[0], " ") {
+		// Multiple quoted questions: answer each.
+		for _, q := range flag.Args() {
+			answerOne(sys, q, *explain, *top)
+		}
+		return
+	}
+	if len(flag.Args()) == 0 {
+		for _, q := range questions {
+			answerOne(sys, q, *explain, *top)
+		}
+		return
+	}
+	answerOne(sys, question, *explain, *top)
+}
+
+func answerOne(sys *core.System, q string, explain bool, top int) {
+	res := sys.Answer(q)
+	fmt.Printf("Q: %s\n", q)
+	if explain {
+		printTrace(sys, res, top)
+	}
+	if res.Answered() {
+		fmt.Printf("A: %s\n\n", strings.Join(res.AnswerStrings(sys.KB), "; "))
+		return
+	}
+	fmt.Printf("A: (no answer — %s", res.Status)
+	if res.Err != nil {
+		fmt.Printf(": %v", res.Err)
+	}
+	fmt.Print(")\n\n")
+	if res.Status == core.StatusNotExtracted || res.Status == core.StatusNotMapped {
+		os.Exit(0) // unanswered is a legitimate outcome, not an error
+	}
+}
+
+func printTrace(sys *core.System, res *core.Result, top int) {
+	if res.Extraction != nil && res.Extraction.Graph != nil {
+		fmt.Println("-- dependency graph (Figure 1 style) --")
+		fmt.Print(res.Extraction.Graph.String())
+		fmt.Println("-- dependency tree --")
+		fmt.Print(res.Extraction.Graph.Tree())
+		if len(res.Extraction.Triples) > 0 {
+			fmt.Println("-- extracted triple patterns (§2.1) --")
+			for _, t := range res.Extraction.Triples {
+				fmt.Println("   " + t.String())
+			}
+			fmt.Printf("   expected answer type: %s\n", res.Extraction.Expected.Kind)
+		}
+	}
+	if res.Mapping != nil {
+		fmt.Println("-- entity & property mapping (§2.2) --")
+		for _, mt := range res.Mapping.Triples {
+			if !mt.Class.IsZero() {
+				fmt.Printf("   class: %s\n", mt.Class)
+				continue
+			}
+			if !mt.Subject.IsZero() {
+				fmt.Printf("   subject entity: %s\n", mt.Subject)
+			}
+			if !mt.Object.IsZero() {
+				fmt.Printf("   object entity: %s\n", mt.Object)
+			}
+			for i, c := range mt.Predicates {
+				fmt.Printf("   P%d: %-28s sim=%.2f freq=%-4d source=%s\n",
+					i+1, c.Property.Term.String(), c.Sim, c.Freq, c.Source)
+			}
+		}
+	}
+	if res.Answer != nil {
+		fmt.Printf("-- candidate queries (§2.3), top %d of %d --\n", top, len(res.Answer.Candidates))
+		for i, cq := range res.Answer.Candidates {
+			if i >= top {
+				break
+			}
+			fmt.Printf("   [score %8.1f] %s\n", cq.Score, cq.SPARQL)
+		}
+		if res.Answer.Winning != nil {
+			fmt.Printf("-- winning query --\n   %s\n", res.Answer.Winning.SPARQL)
+		}
+	}
+}

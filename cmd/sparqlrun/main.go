@@ -1,0 +1,54 @@
+// Command sparqlrun executes a SPARQL query against the built-in
+// knowledge base — the endpoint-style access path the paper's examples
+// use (Query1/Query2 of §2.3 can be pasted directly).
+//
+// Usage:
+//
+//	sparqlrun 'SELECT ?x WHERE { ?x rdf:type dbont:Book . ?x dbont:writer res:Orhan_Pamuk }'
+//	echo 'ASK { res:Snow_(novel) dbont:author res:Orhan_Pamuk }' | sparqlrun
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/sparql"
+)
+
+func main() {
+	flag.Parse()
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparqlrun:", err)
+			os.Exit(1)
+		}
+		query = string(data)
+	}
+	k := kb.Default()
+	res, err := sparql.ExecuteString(k.Store, query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparqlrun:", err)
+		os.Exit(1)
+	}
+	if res.Form == sparql.FormAsk {
+		fmt.Println(res.Boolean)
+		return
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for _, sol := range res.Solutions {
+		row := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			if t, ok := sol[v]; ok {
+				row[i] = t.String()
+			}
+		}
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d solution(s)\n", len(res.Solutions))
+}

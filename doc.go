@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Semantic Question
+// Answering System over Linked Data using Relational Patterns"
+// (Hakimov, Tunc, Akimaliev, Dogdu — EDBT/ICDT 2013 workshops).
+//
+// The system translates English questions into SPARQL queries over a
+// DBpedia-like knowledge base in three stages: triple pattern extraction
+// from the dependency graph (§2.1), entity/property mapping via string
+// similarity, WordNet metrics and PATTY-style relational patterns
+// (§2.2), and ranked answer extraction with expected-type checking
+// (§2.3). Every substrate the paper depends on — the NLP stack, the
+// triple store and SPARQL engine, the WordNet database, the pattern
+// miner, the NED component and the knowledge base itself — is
+// implemented in this module using only the Go standard library.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured numbers, and bench_test.go for the per-table/figure
+// regeneration harness.
+package repro

@@ -1,0 +1,58 @@
+// patterns_explore inspects the PATTY-style relational pattern resource
+// (§2.2.3): the word→property frequency table, the noise the paper
+// criticises ("deathPlace" carrying "born in"), the synonym groups and
+// the property-synonym pairs derived from WordNet (§2.2.1).
+//
+// Run with: go run ./examples/patterns_explore
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sys := core.Default()
+	st := sys.Patterns
+
+	// The §2.2.3 worked example: "die" maps to deathPlace, birthPlace,
+	// residence ranked by pattern frequency.
+	for _, word := range []string{"die", "bear", "write", "marry", "grow", "leader"} {
+		fmt.Printf("%-8s →", word)
+		for _, pf := range st.PropertiesForWord(word) {
+			fmt.Printf("  %s(%d)", pf.Property.LocalName(), pf.Freq)
+		}
+		fmt.Println()
+	}
+
+	// Show the noise: which patterns verbalise deathPlace?
+	fmt.Println("\npattern-level view of 'be bear in':")
+	for _, pf := range st.PropertiesForPattern("be bear in") {
+		fmt.Printf("  %-14s freq=%d\n", pf.Property.LocalName(), pf.Freq)
+	}
+
+	fmt.Printf("\nmined %d patterns; %d synonym groups\n",
+		len(st.Patterns()), len(st.SynonymGroups()))
+	for i, g := range st.SynonymGroups() {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  synonyms: %v\n", g)
+	}
+
+	// §2.2.1: the property pair list derived from WordNet similarity
+	// (writer ~ author is the paper's example).
+	fmt.Println("\nWordNet-derived property synonym pairs (sample):")
+	for _, local := range []string{"writer", "author", "spouse", "mayor"} {
+		syns := sys.SynonymPairsOf(local)
+		if len(syns) == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s ~", local)
+		for _, p := range syns {
+			fmt.Printf(" %s", p.Term.LocalName())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,203 @@
+// Cross-module integration and robustness tests: the pipeline over the
+// dump/load cycle, fuzz-shaped inputs, and determinism guarantees that
+// no single package's tests can see.
+package repro_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/ntriples"
+	"repro/internal/qald"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// TestKBDumpLoadRoundTrip: kbgen-style dump → N-Triples parse → fresh
+// store must reproduce the graph exactly.
+func TestKBDumpLoadRoundTrip(t *testing.T) {
+	k := kb.Build(kb.Config{Seed: 7, SyntheticPersons: 20, SyntheticCities: 5, SyntheticBooks: 10})
+	var buf bytes.Buffer
+	if err := ntriples.WriteAll(&buf, k.Store.Triples()); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ntriples.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := store.New()
+	st2.AddAll(parsed)
+	if st2.Len() != k.Store.Len() {
+		t.Fatalf("round trip: %d triples, want %d", st2.Len(), k.Store.Len())
+	}
+	// Every original triple survives.
+	for _, tr := range k.Store.Triples() {
+		if !st2.Has(tr) {
+			t.Fatalf("triple lost in round trip: %v", tr)
+		}
+	}
+	// Queries over the reloaded store agree.
+	q := `SELECT ?x WHERE { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk . }`
+	r1, err := sparql.ExecuteString(k.Store, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sparql.ExecuteString(st2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Solutions) != len(r2.Solutions) {
+		t.Errorf("query disagreement: %d vs %d", len(r1.Solutions), len(r2.Solutions))
+	}
+}
+
+// TestPipelineNeverPanics feeds adversarial inputs through the full
+// pipeline; every input must return a Result, not a panic.
+func TestPipelineNeverPanics(t *testing.T) {
+	s := core.Default()
+	inputs := []string{
+		"",
+		"?",
+		"???",
+		"Who",
+		"is is is is is",
+		"Which which which",
+		"How many",
+		"Where did",
+		"by by by by Orhan Pamuk",
+		"Which book is written by",
+		"Who wrote wrote wrote The Time Machine Machine?",
+		strings.Repeat("very ", 200) + "long question?",
+		"Ünïcödé quéstion about Örhan Pamuk?",
+		"SELECT ?x WHERE { ?x ?p ?o }", // SPARQL as a question
+		"1 2 3 4 5",
+		"Is?",
+		"The The The",
+		"....",
+		"\t\n  ",
+		"Who is the the the mayor of of Berlin?",
+	}
+	for _, q := range inputs {
+		res := s.Answer(q)
+		if res == nil {
+			t.Fatalf("nil result for %q", q)
+		}
+		if res.Status == core.StatusAnswered && len(res.Answers) == 0 {
+			t.Errorf("answered with no answers for %q", q)
+		}
+	}
+}
+
+// TestPipelineFuzzRandomWords streams pseudo-random word salad through
+// the pipeline (seeded, so reproducible).
+func TestPipelineFuzzRandomWords(t *testing.T) {
+	s := core.Default()
+	rng := rand.New(rand.NewSource(99))
+	vocab := []string{"who", "which", "book", "written", "by", "Orhan",
+		"Pamuk", "is", "the", "of", "where", "die", "?", "how", "tall",
+		"many", "people", "live", "in", "Berlin", "and", "or", "not",
+		"capital", "Turkey", "1.98", "D.C.", "'s"}
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(12)
+		words := make([]string, n)
+		for j := range words {
+			words[j] = vocab[rng.Intn(len(vocab))]
+		}
+		q := strings.Join(words, " ")
+		res := s.Answer(q) // must not panic
+		_ = res.Status.String()
+	}
+}
+
+// TestAnswerDeterminism: the same question answered repeatedly yields
+// the same answer set and the same winning query.
+func TestAnswerDeterminism(t *testing.T) {
+	s := core.Default()
+	questions := []string{
+		"Which book is written by Orhan Pamuk?",
+		"Where did Abraham Lincoln die?",
+		"What is the population of Victoria?",
+	}
+	for _, q := range questions {
+		first := s.Answer(q)
+		for i := 0; i < 3; i++ {
+			again := s.Answer(q)
+			if again.Status != first.Status {
+				t.Fatalf("%q: status changed: %v vs %v", q, again.Status, first.Status)
+			}
+			if again.WinningSPARQL() != first.WinningSPARQL() {
+				t.Fatalf("%q: winning query changed", q)
+			}
+			if len(again.Answers) != len(first.Answers) {
+				t.Fatalf("%q: answer count changed", q)
+			}
+		}
+	}
+}
+
+// TestTwoSystemsIndependent: separately built systems do not share
+// mutable state (the KB store must not be corrupted by answering).
+func TestTwoSystemsIndependent(t *testing.T) {
+	k1 := kb.Build(kb.Config{Seed: 1})
+	k2 := kb.Build(kb.Config{Seed: 1})
+	s1 := core.New(core.Config{KB: k1})
+	s2 := core.New(core.Config{KB: k2})
+	before := k1.Store.Len()
+	for i := 0; i < 5; i++ {
+		s1.Answer("Which book is written by Orhan Pamuk?")
+		s2.Answer("Where did Abraham Lincoln die?")
+	}
+	if k1.Store.Len() != before || k2.Store.Len() != before {
+		t.Error("answering mutated the store")
+	}
+}
+
+// TestFullSetEvaluationRuns: the 100-question full set (including the
+// excluded portion) runs cleanly end to end.
+func TestFullSetEvaluationRuns(t *testing.T) {
+	s := core.Default()
+	rep, err := qald.Evaluate(s, qald.FullSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 100 {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	// The excluded 45 have no gold; none should count as correct.
+	if rep.Correct > rep.Answered {
+		t.Fatal("accounting broken")
+	}
+}
+
+// TestConcurrentAnswering: the shared system is safe for concurrent
+// readers (the store takes RLocks; pipeline state is per-call).
+func TestConcurrentAnswering(t *testing.T) {
+	s := core.Default()
+	questions := []string{
+		"Which book is written by Orhan Pamuk?",
+		"How tall is Michael Jordan?",
+		"Where did Abraham Lincoln die?",
+		"Who is the mayor of Berlin?",
+	}
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- true }()
+			for i := 0; i < 10; i++ {
+				q := questions[(w+i)%len(questions)]
+				res := s.Answer(q)
+				if !res.Answered() {
+					t.Errorf("%q unanswered under concurrency: %v", q, res.Status)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,393 @@
+// Package answer implements §2.3 of the paper: building the candidate
+// query set Q as the Cartesian product of per-triple property
+// candidates, executing every query against the knowledge base, ranking
+// by the product of the predicates' pattern frequencies (§2.3.1),
+// filtering answers by the expected answer type of Table 1 (§2.3.2) and
+// returning the top-ranked answer set.
+package answer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/propmap"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/triplex"
+)
+
+// Config controls answer extraction.
+type Config struct {
+	// DisableTypeCheck turns off §2.3.2 (ablation).
+	DisableTypeCheck bool
+	// MaxQueries caps |Q| to keep the Cartesian product bounded.
+	MaxQueries int
+
+	// EnableBoolean implements the paper's future-work extension for
+	// yes/no questions: boolean-typed mappings produce ASK queries and
+	// answer with an xsd:boolean literal.
+	EnableBoolean bool
+	// EnableAggregation implements the future-work COUNT extension:
+	// numeric-typed questions whose queries return entities answer with
+	// the (distinct) result count.
+	EnableAggregation bool
+}
+
+// DefaultConfig mirrors the paper.
+func DefaultConfig() Config { return Config{MaxQueries: 256} }
+
+// CandidateQuery is one member of Q with its execution outcome.
+type CandidateQuery struct {
+	Query  *sparql.Query
+	SPARQL string
+	// Score is the §2.3.1 ranking score: the product of the predicate
+	// candidates' rank scores.
+	Score float64
+	// Answers holds the type-filtered results after execution.
+	Answers []rdf.Term
+	// Raw is the unfiltered result count.
+	Raw int
+	// Executed marks whether the ranking loop reached this query.
+	Executed bool
+}
+
+// Result is the outcome of §2.3 for one question.
+type Result struct {
+	// Answers is the winning query's answer set (empty when no query
+	// produced type-conforming answers).
+	Answers []rdf.Term
+	// Winning points into Candidates (nil when unanswered).
+	Winning *CandidateQuery
+	// Candidates is Q in rank order.
+	Candidates []CandidateQuery
+	Expected   triplex.Expected
+}
+
+// Answered reports whether the system produced an answer.
+func (r *Result) Answered() bool { return r.Winning != nil && len(r.Answers) > 0 }
+
+// Extractor executes §2.3 against one KB.
+type Extractor struct {
+	kb  *kb.KB
+	cfg Config
+}
+
+// New builds an Extractor.
+func New(k *kb.KB, cfg Config) *Extractor {
+	if cfg.MaxQueries <= 0 {
+		cfg.MaxQueries = DefaultConfig().MaxQueries
+	}
+	return &Extractor{kb: k, cfg: cfg}
+}
+
+// ErrBoolean marks boolean questions (unsupported answer form, outside
+// Table 1 — the paper's pipeline does not produce ASK queries).
+type ErrBoolean struct{ Question string }
+
+func (e *ErrBoolean) Error() string {
+	return fmt.Sprintf("answer: boolean questions are not supported (Table 1 has no boolean type): %q", e.Question)
+}
+
+// Extract builds, ranks and executes the candidate queries.
+func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
+	expected := mp.Extraction.Expected
+	if expected.Kind == triplex.ExpectBoolean && !e.cfg.EnableBoolean {
+		return nil, &ErrBoolean{Question: mp.Extraction.Question}
+	}
+	res := &Result{Expected: expected}
+
+	// Per-triple alternatives: each alternative is a set of SPARQL
+	// triple patterns plus a score factor.
+	type alternative struct {
+		patterns []rdf.Triple
+		score    float64
+	}
+	perTriple := make([][]alternative, 0, len(mp.Triples))
+	for _, mt := range mp.Triples {
+		var alts []alternative
+		if !mt.Class.IsZero() {
+			alts = append(alts, alternative{
+				patterns: []rdf.Triple{{S: rdf.NewVar(mt.SubjectVar), P: rdf.Type(), O: mt.Class}},
+				score:    1,
+			})
+			perTriple = append(perTriple, alts)
+			continue
+		}
+		subj := slotTerm(mt.SubjectVar, mt.Subject)
+		obj := slotTerm(mt.ObjectVar, mt.Object)
+		for _, cand := range mt.Predicates {
+			for _, pat := range e.orientations(cand.Property, subj, obj) {
+				alts = append(alts, alternative{
+					patterns: []rdf.Triple{pat},
+					score:    cand.RankScore(),
+				})
+			}
+		}
+		if len(alts) == 0 {
+			return nil, fmt.Errorf("answer: no executable orientation for triple %v", mt.Original)
+		}
+		perTriple = append(perTriple, alts)
+	}
+
+	// Cartesian product → Q.
+	combos := [][]alternative{{}}
+	for _, alts := range perTriple {
+		var next [][]alternative
+		for _, combo := range combos {
+			for _, alt := range alts {
+				if len(next) >= e.cfg.MaxQueries {
+					break
+				}
+				extended := make([]alternative, len(combo)+1)
+				copy(extended, combo)
+				extended[len(combo)] = alt
+				next = append(next, extended)
+			}
+		}
+		combos = next
+	}
+
+	boolean := expected.Kind == triplex.ExpectBoolean
+	for _, combo := range combos {
+		q := &sparql.Query{Form: sparql.FormSelect, Distinct: true,
+			Projection: []string{"x"}, Limit: -1}
+		if boolean {
+			q.Form = sparql.FormAsk
+			q.Projection = nil
+		}
+		score := 1.0
+		for _, alt := range combo {
+			q.Patterns = append(q.Patterns, alt.patterns...)
+			score *= alt.score
+		}
+		res.Candidates = append(res.Candidates, CandidateQuery{
+			Query: q, SPARQL: q.String(), Score: score,
+		})
+	}
+
+	// §6 extension: superlative questions extremise the value variable
+	// with ORDER BY + LIMIT 1.
+	if sup := mp.Extraction.Superlative; sup != nil {
+		for i := range res.Candidates {
+			q := res.Candidates[i].Query
+			q.OrderBy = []sparql.OrderKey{{Expr: &sparql.VarExpr{Name: "v"}, Desc: sup.Desc}}
+			q.Limit = 1
+			res.Candidates[i].SPARQL = q.String()
+		}
+	}
+
+	// §2.3.1 rank order (deterministic tie-break on the query text).
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		if res.Candidates[i].Score != res.Candidates[j].Score {
+			return res.Candidates[i].Score > res.Candidates[j].Score
+		}
+		return res.Candidates[i].SPARQL < res.Candidates[j].SPARQL
+	})
+
+	if boolean {
+		return e.executeBoolean(res)
+	}
+
+	// Execute in rank order; the first query whose (type-filtered)
+	// answer set is non-empty wins.
+	for i := range res.Candidates {
+		cq := &res.Candidates[i]
+		cq.Executed = true
+		r, err := sparql.Execute(e.kb.Store, cq.Query)
+		if err != nil {
+			continue
+		}
+		col := r.Column("x")
+		cq.Raw = len(col)
+		for _, term := range col {
+			if e.cfg.DisableTypeCheck || e.typeMatches(term, expected) {
+				cq.Answers = append(cq.Answers, term)
+			}
+		}
+		if len(cq.Answers) > 0 {
+			res.Answers = cq.Answers
+			res.Winning = cq
+			break
+		}
+	}
+
+	// Future-work COUNT extension: a numeric question whose queries
+	// only return entities answers with the distinct result count.
+	if res.Winning == nil && e.cfg.EnableAggregation &&
+		expected.Kind == triplex.ExpectNumeric {
+		e.executeAggregation(res)
+	}
+	return res, nil
+}
+
+// executeBoolean answers a yes/no question: the first ASK returning
+// true wins; if every candidate is false, the top-ranked candidate
+// answers "false".
+func (e *Extractor) executeBoolean(res *Result) (*Result, error) {
+	boolLit := func(v bool) rdf.Term {
+		if v {
+			return rdf.NewTypedLiteral("true", rdf.XSDBoolean)
+		}
+		return rdf.NewTypedLiteral("false", rdf.XSDBoolean)
+	}
+	for i := range res.Candidates {
+		cq := &res.Candidates[i]
+		cq.Executed = true
+		r, err := sparql.Execute(e.kb.Store, cq.Query)
+		if err != nil {
+			continue
+		}
+		if r.Boolean {
+			cq.Answers = []rdf.Term{boolLit(true)}
+			cq.Raw = 1
+			res.Answers = cq.Answers
+			res.Winning = cq
+			return res, nil
+		}
+	}
+	if len(res.Candidates) > 0 {
+		cq := &res.Candidates[0]
+		cq.Answers = []rdf.Term{boolLit(false)}
+		res.Answers = cq.Answers
+		res.Winning = cq
+	}
+	return res, nil
+}
+
+// executeAggregation retries the candidates as COUNT(DISTINCT ?x)
+// queries, answering with the count of the first candidate whose raw
+// result set is non-empty.
+func (e *Extractor) executeAggregation(res *Result) {
+	for i := range res.Candidates {
+		cq := &res.Candidates[i]
+		if cq.Executed && cq.Raw == 0 {
+			continue // already known empty
+		}
+		countQ := &sparql.Query{
+			Form:     sparql.FormSelect,
+			Count:    &sparql.CountSpec{Var: "x", Distinct: true, As: "x"},
+			Patterns: cq.Query.Patterns,
+			Limit:    -1,
+		}
+		r, err := sparql.Execute(e.kb.Store, countQ)
+		if err != nil || len(r.Solutions) == 0 {
+			continue
+		}
+		count := r.Solutions[0]["x"]
+		if f, ok := count.Float(); !ok || f <= 0 {
+			continue
+		}
+		cq.Executed = true
+		cq.Answers = []rdf.Term{count}
+		cq.SPARQL = countQ.String()
+		cq.Query = countQ
+		res.Answers = cq.Answers
+		res.Winning = cq
+		return
+	}
+}
+
+func slotTerm(varName string, entity rdf.Term) rdf.Term {
+	if varName != "" {
+		return rdf.NewVar(varName)
+	}
+	return entity
+}
+
+// orientations yields the executable SPARQL patterns for a property
+// between the two slots. Object properties are tried in both directions
+// when the domain/range typing does not rule one out; data properties
+// only ever have the literal on the object side.
+func (e *Extractor) orientations(p kb.Property, subj, obj rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	if !p.Object {
+		// Data property: the variable must sit in object position.
+		switch {
+		case obj.IsVar() && !subj.IsVar():
+			if e.instanceOfLoose(subj, p.Domain) {
+				out = append(out, rdf.Triple{S: subj, P: p.Term, O: obj})
+			}
+		case subj.IsVar() && !obj.IsVar():
+			// Reversed slots: literal value on the subject side cannot
+			// be expressed; try the flipped orientation.
+			if e.instanceOfLoose(obj, p.Domain) {
+				out = append(out, rdf.Triple{S: obj, P: p.Term, O: subj})
+			}
+		case subj.IsVar() && obj.IsVar():
+			out = append(out, rdf.Triple{S: subj, P: p.Term, O: obj})
+		}
+		return out
+	}
+	forward := rdf.Triple{S: subj, P: p.Term, O: obj}
+	reverse := rdf.Triple{S: obj, P: p.Term, O: subj}
+	fwdOK := e.orientationTypable(subj, obj, p)
+	revOK := e.orientationTypable(obj, subj, p)
+	if fwdOK {
+		out = append(out, forward)
+	}
+	if revOK {
+		out = append(out, reverse)
+	}
+	if !fwdOK && !revOK {
+		out = append(out, forward, reverse)
+	}
+	return out
+}
+
+// orientationTypable reports whether placing s in subject and o in
+// object position is consistent with the property's domain/range for
+// the slots that are ground.
+func (e *Extractor) orientationTypable(s, o rdf.Term, p kb.Property) bool {
+	if !s.IsVar() && !e.instanceOfLoose(s, p.Domain) {
+		return false
+	}
+	if !o.IsVar() && !e.instanceOfLoose(o, p.Range) {
+		return false
+	}
+	return true
+}
+
+// instanceOfLoose checks rdf:type membership; unknown/Thing constraints
+// pass.
+func (e *Extractor) instanceOfLoose(entity, class rdf.Term) bool {
+	if class.IsZero() || class.Value == rdf.IRIThing || !entity.IsIRI() {
+		return true
+	}
+	if !strings.HasPrefix(class.Value, rdf.NSOnt) {
+		return true
+	}
+	// Types are materialised, so a direct triple lookup suffices.
+	return e.kb.Store.Has(rdf.Triple{S: entity, P: rdf.Type(), O: class})
+}
+
+// typeMatches implements Table 1 (§2.3.2).
+func (e *Extractor) typeMatches(t rdf.Term, expected triplex.Expected) bool {
+	switch expected.Kind {
+	case triplex.ExpectPerson:
+		return e.isAny(t, "Person", "Organisation", "Company")
+	case triplex.ExpectPlace:
+		return e.isAny(t, "Place")
+	case triplex.ExpectDate:
+		return t.IsDate()
+	case triplex.ExpectNumeric:
+		return t.IsNumeric()
+	case triplex.ExpectClass, triplex.ExpectAny:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Extractor) isAny(t rdf.Term, classes ...string) bool {
+	if !t.IsIRI() {
+		return false
+	}
+	for _, c := range classes {
+		if e.kb.Store.Has(rdf.Triple{S: t, P: rdf.Type(), O: rdf.Ont(c)}) {
+			return true
+		}
+	}
+	return false
+}

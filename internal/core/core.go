@@ -1,0 +1,240 @@
+// Package core assembles the paper's full question answering pipeline:
+//
+//	question
+//	  → §2.1 triple pattern extraction   (internal/triplex)
+//	  → §2.2 entity & property mapping   (internal/propmap)
+//	  → §2.3 answer extraction           (internal/answer)
+//	  → ranked answers
+//
+// System is the public entry point: build one with New (or share the
+// process-wide Default) and call Answer. The Result records every
+// intermediate stage, so callers can inspect the extracted triples, the
+// candidate property sets, the generated SPARQL queries and the ranking
+// — the trace the paper walks through for "Which book is written by
+// Orhan Pamuk?".
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/answer"
+	"repro/internal/kb"
+	"repro/internal/ner"
+	"repro/internal/patterns"
+	"repro/internal/propmap"
+	"repro/internal/rdf"
+	"repro/internal/triplex"
+	"repro/internal/wordnet"
+)
+
+// Config assembles a System. The zero value plus defaults reproduces
+// the paper's configuration; the Disable* switches drive the ablation
+// benchmarks called out in DESIGN.md.
+type Config struct {
+	// KB to answer over; nil uses kb.Default().
+	KB *kb.KB
+	// Corpus controls the pattern-mining corpus.
+	Corpus kb.CorpusConfig
+	// Miner tunes the PATTY-style miner.
+	Miner patterns.MinerConfig
+
+	// Ablation switches.
+	DisablePatterns        bool
+	DisableWordNetSynonyms bool
+	DisableTypeCheck       bool
+	DisableCentrality      bool
+
+	// Future-work extensions (§6): boolean ASK answering, COUNT
+	// aggregation and superlative questions, off by default to stay
+	// paper-faithful.
+	EnableBoolean      bool
+	EnableAggregation  bool
+	EnableSuperlatives bool
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config {
+	return Config{
+		Corpus: kb.DefaultCorpusConfig(),
+		Miner:  patterns.DefaultMinerConfig(),
+	}
+}
+
+// System is the assembled pipeline.
+type System struct {
+	KB       *kb.KB
+	WordNet  *wordnet.DB
+	Patterns *patterns.Store
+	Linker   *ner.Linker
+
+	mapper      *propmap.Mapper
+	extractor   *answer.Extractor
+	triplexOpts triplex.Options
+}
+
+var (
+	defaultOnce sync.Once
+	defaultSys  *System
+)
+
+// Default returns a shared System over kb.Default().
+func Default() *System {
+	defaultOnce.Do(func() { defaultSys = New(DefaultConfig()) })
+	return defaultSys
+}
+
+// New builds a System: links the KB, mines the relational patterns and
+// wires the three pipeline stages.
+func New(cfg Config) *System {
+	k := cfg.KB
+	if k == nil {
+		k = kb.Default()
+	}
+	if cfg.Corpus.SentencesPerFact == 0 {
+		cfg.Corpus = kb.DefaultCorpusConfig()
+	}
+	if cfg.Miner.MinSupport == 0 {
+		cfg.Miner = patterns.DefaultMinerConfig()
+	}
+	s := &System{KB: k, WordNet: wordnet.Default(), Linker: ner.NewLinker(k)}
+	if !cfg.DisablePatterns {
+		s.Patterns = patterns.Mine(k, k.Corpus(cfg.Corpus), cfg.Miner)
+	}
+	pmCfg := propmap.DefaultConfig()
+	pmCfg.DisablePatterns = cfg.DisablePatterns
+	pmCfg.DisableWordNetSynonyms = cfg.DisableWordNetSynonyms
+	pmCfg.DisableCentrality = cfg.DisableCentrality
+	s.mapper = propmap.New(k, s.WordNet, s.Patterns, s.Linker, pmCfg)
+	ansCfg := answer.DefaultConfig()
+	ansCfg.DisableTypeCheck = cfg.DisableTypeCheck
+	ansCfg.EnableBoolean = cfg.EnableBoolean
+	ansCfg.EnableAggregation = cfg.EnableAggregation
+	s.extractor = answer.New(k, ansCfg)
+	s.triplexOpts = triplex.Options{Superlatives: cfg.EnableSuperlatives}
+	return s
+}
+
+// Status describes how far the pipeline got on a question.
+type Status uint8
+
+// Pipeline outcomes.
+const (
+	// StatusAnswered: an answer set was produced.
+	StatusAnswered Status = iota + 1
+	// StatusNotExtracted: §2.1 produced no triple patterns.
+	StatusNotExtracted
+	// StatusNotMapped: §2.2 could not resolve a slot.
+	StatusNotMapped
+	// StatusUnsupported: the question needs an unsupported answer form
+	// (boolean/aggregation).
+	StatusUnsupported
+	// StatusNoAnswer: queries were built but none returned a
+	// type-conforming result.
+	StatusNoAnswer
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusAnswered:
+		return "answered"
+	case StatusNotExtracted:
+		return "not extracted (§2.1)"
+	case StatusNotMapped:
+		return "not mapped (§2.2)"
+	case StatusUnsupported:
+		return "unsupported answer form"
+	case StatusNoAnswer:
+		return "no type-conforming answer"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the full trace of one question.
+type Result struct {
+	Question string
+	Status   Status
+	// Answers is the winning answer set (empty unless StatusAnswered).
+	Answers []rdf.Term
+	// Err is the stage error for non-answered statuses.
+	Err error
+
+	Extraction *triplex.Extraction
+	Mapping    *propmap.Mapping
+	Answer     *answer.Result
+}
+
+// Answered reports whether the pipeline produced an answer.
+func (r *Result) Answered() bool { return r.Status == StatusAnswered }
+
+// WinningSPARQL returns the winning query text ("" when unanswered).
+func (r *Result) WinningSPARQL() string {
+	if r.Answer == nil || r.Answer.Winning == nil {
+		return ""
+	}
+	return r.Answer.Winning.SPARQL
+}
+
+// AnswerStrings renders the answers with labels for IRIs and lexical
+// forms for literals, sorted.
+func (r *Result) AnswerStrings(k *kb.KB) []string {
+	out := make([]string, 0, len(r.Answers))
+	for _, t := range r.Answers {
+		if t.IsIRI() && k != nil {
+			out = append(out, k.LabelOf(t))
+		} else {
+			out = append(out, t.Value)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SynonymPairsOf exposes the §2.2.1 WordNet-derived property pair list
+// for a property local name (e.g. "writer" → [author]).
+func (s *System) SynonymPairsOf(local string) []kb.Property {
+	return s.mapper.SynonymsOf(local)
+}
+
+// Answer runs the pipeline on one question.
+func (s *System) Answer(question string) *Result {
+	res := &Result{Question: strings.TrimSpace(question)}
+
+	ext, err := triplex.ExtractOpts(res.Question, s.triplexOpts)
+	res.Extraction = ext
+	if err != nil {
+		res.Status = StatusNotExtracted
+		res.Err = err
+		return res
+	}
+
+	mp, err := s.mapper.Map(ext)
+	if err != nil {
+		res.Status = StatusNotMapped
+		res.Err = err
+		return res
+	}
+	res.Mapping = mp
+
+	ans, err := s.extractor.Extract(mp)
+	if err != nil {
+		if _, ok := err.(*answer.ErrBoolean); ok {
+			res.Status = StatusUnsupported
+		} else {
+			res.Status = StatusNotMapped
+		}
+		res.Err = err
+		return res
+	}
+	res.Answer = ans
+	if ans.Answered() {
+		res.Status = StatusAnswered
+		res.Answers = ans.Answers
+	} else {
+		res.Status = StatusNoAnswer
+	}
+	return res
+}

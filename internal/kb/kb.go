@@ -1,0 +1,401 @@
+// Package kb builds the synthetic DBpedia-like knowledge base the
+// question answering system queries. It substitutes the real DBpedia 3.7
+// endpoint used in the paper: the same ontology layout (dbont: classes
+// with rdfs:subClassOf, object and data properties with rdfs:domain/
+// range and rdfs:label), res: entities with English labels, facts, and
+// wikiPageWikiLink page links (used by the NED stage of ref. [15]).
+//
+// The curated portion covers every running example in the paper (Orhan
+// Pamuk's books, Michael Jordan's height, Abraham Lincoln's death place,
+// Michael Jackson's birth place, Frank Herbert's death date, Italy's
+// population 59,464,644) plus the entities the QALD-style evaluation set
+// needs. A seeded synthetic generator scales the graph out for benches.
+package kb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Property describes one ontology property.
+type Property struct {
+	Term   rdf.Term
+	Label  string
+	Domain rdf.Term
+	Range  rdf.Term // class for object properties, xsd datatype IRI for data
+	Object bool     // true = object property
+}
+
+// Class describes one ontology class.
+type Class struct {
+	Term   rdf.Term
+	Label  string
+	Parent rdf.Term // zero for owl:Thing roots
+}
+
+// KB bundles the triple store with ontology indexes the pipeline needs.
+type KB struct {
+	Store *store.Store
+
+	Classes          []Class
+	ObjectProperties []Property
+	DataProperties   []Property
+
+	classByLocal map[string]Class
+	propByLocal  map[string]Property
+}
+
+// Config controls KB construction.
+type Config struct {
+	// Seed drives the synthetic scale-out; the curated core is fixed.
+	Seed int64
+	// SyntheticPersons / SyntheticCities / SyntheticBooks control the
+	// generated long tail (0 disables).
+	SyntheticPersons int
+	SyntheticCities  int
+	SyntheticBooks   int
+}
+
+// DefaultConfig is the configuration used by Default and the evaluation.
+func DefaultConfig() Config {
+	return Config{Seed: 42, SyntheticPersons: 250, SyntheticCities: 60, SyntheticBooks: 150}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultKB   *KB
+)
+
+// Default returns a process-wide KB built with DefaultConfig.
+func Default() *KB {
+	defaultOnce.Do(func() { defaultKB = Build(DefaultConfig()) })
+	return defaultKB
+}
+
+// Build constructs the knowledge base.
+func Build(cfg Config) *KB {
+	kb := &KB{
+		Store:        store.New(),
+		classByLocal: map[string]Class{},
+		propByLocal:  map[string]Property{},
+	}
+	kb.buildOntology()
+	kb.buildCuratedEntities()
+	kb.buildSynthetic(cfg)
+	kb.materializeTypes()
+	return kb
+}
+
+// materializeTypes asserts the full rdf:type closure (every superclass
+// of every asserted type), as the DBpedia dumps the paper queries do —
+// SPARQL BGPs like "?x rdf:type dbont:Person" then work without RDFS
+// inference at query time.
+func (kb *KB) materializeTypes() {
+	entityTypes := map[rdf.Term][]rdf.Term{}
+	kb.Store.ForEachMatch(rdf.Triple{P: rdf.Type()}, func(t rdf.Triple) bool {
+		if strings.HasPrefix(t.S.Value, rdf.NSRes) && strings.HasPrefix(t.O.Value, rdf.NSOnt) {
+			entityTypes[t.S] = append(entityTypes[t.S], t.O)
+		}
+		return true
+	})
+	for e, types := range entityTypes {
+		for _, c := range types {
+			for _, super := range kb.Store.SuperClasses(c) {
+				kb.Store.Add(rdf.Triple{S: e, P: rdf.Type(), O: super})
+			}
+		}
+	}
+}
+
+// ClassByLocal returns the class with the given dbont: local name.
+func (kb *KB) ClassByLocal(local string) (Class, bool) {
+	c, ok := kb.classByLocal[local]
+	return c, ok
+}
+
+// PropertyByLocal returns the property with the given dbont: local name.
+func (kb *KB) PropertyByLocal(local string) (Property, bool) {
+	p, ok := kb.propByLocal[local]
+	return p, ok
+}
+
+// Properties returns object and data properties combined.
+func (kb *KB) Properties() []Property {
+	out := make([]Property, 0, len(kb.ObjectProperties)+len(kb.DataProperties))
+	out = append(out, kb.ObjectProperties...)
+	out = append(out, kb.DataProperties...)
+	return out
+}
+
+// EntitiesWithLabel returns the entities (res: IRIs) whose rdfs:label
+// matches label case-insensitively.
+func (kb *KB) EntitiesWithLabel(label string) []rdf.Term {
+	var out []rdf.Term
+	want := strings.ToLower(strings.TrimSpace(label))
+	kb.Store.ForEachMatch(rdf.Triple{P: rdf.Label()}, func(t rdf.Triple) bool {
+		if !strings.HasPrefix(t.S.Value, rdf.NSRes) {
+			return true
+		}
+		if strings.ToLower(t.O.Value) == want {
+			out = append(out, t.S)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// LabelOf returns the first rdfs:label of a term (its local name as a
+// fallback, with underscores replaced).
+func (kb *KB) LabelOf(t rdf.Term) string {
+	for _, o := range kb.Store.Objects(t, rdf.Label()) {
+		return o.Value
+	}
+	return strings.ReplaceAll(t.LocalName(), "_", " ")
+}
+
+// --- ontology construction helpers ---
+
+func (kb *KB) class(local, label string, parent rdf.Term) rdf.Term {
+	term := rdf.Ont(local)
+	c := Class{Term: term, Label: label, Parent: parent}
+	kb.Classes = append(kb.Classes, c)
+	kb.classByLocal[local] = c
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.Type(), O: rdf.NewIRI(rdf.IRIClass)})
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.Label(), O: rdf.NewLangLiteral(label, "en")})
+	if !parent.IsZero() {
+		kb.Store.Add(rdf.Triple{S: term, P: rdf.SubClassOf(), O: parent})
+	}
+	return term
+}
+
+func (kb *KB) objProp(local, label string, domain, rng rdf.Term) rdf.Term {
+	term := rdf.Ont(local)
+	p := Property{Term: term, Label: label, Domain: domain, Range: rng, Object: true}
+	kb.ObjectProperties = append(kb.ObjectProperties, p)
+	kb.propByLocal[local] = p
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.Type(), O: rdf.NewIRI(rdf.IRIObjectProp)})
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.Label(), O: rdf.NewLangLiteral(label, "en")})
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.NewIRI(rdf.IRIDomain), O: domain})
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.NewIRI(rdf.IRIRange), O: rng})
+	return term
+}
+
+func (kb *KB) dataProp(local, label string, domain rdf.Term, xsdType string) rdf.Term {
+	term := rdf.Ont(local)
+	p := Property{Term: term, Label: label, Domain: domain, Range: rdf.NewIRI(xsdType), Object: false}
+	kb.DataProperties = append(kb.DataProperties, p)
+	kb.propByLocal[local] = p
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.Type(), O: rdf.NewIRI(rdf.IRIDatatypeProp)})
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.Label(), O: rdf.NewLangLiteral(label, "en")})
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.NewIRI(rdf.IRIDomain), O: domain})
+	kb.Store.Add(rdf.Triple{S: term, P: rdf.NewIRI(rdf.IRIRange), O: rdf.NewIRI(xsdType)})
+	return term
+}
+
+// buildOntology declares the class tree and properties (a faithful
+// slice of the DBpedia 3.7 ontology the paper queries).
+func (kb *KB) buildOntology() {
+	thing := rdf.NewIRI(rdf.IRIThing)
+
+	agent := kb.class("Agent", "agent", thing)
+	person := kb.class("Person", "person", agent)
+	artist := kb.class("Artist", "artist", person)
+	kb.class("Writer", "writer", artist)
+	kb.class("MusicalArtist", "musical artist", artist)
+	kb.class("Painter", "painter", artist)
+	kb.class("Actor", "actor", artist)
+	athlete := kb.class("Athlete", "athlete", person)
+	kb.class("BasketballPlayer", "basketball player", athlete)
+	kb.class("SoccerPlayer", "soccer player", athlete)
+	politician := kb.class("Politician", "politician", person)
+	kb.class("President", "president", politician)
+	kb.class("PrimeMinister", "prime minister", politician)
+	kb.class("Monarch", "monarch", politician)
+	kb.class("OfficeHolder", "office holder", person)
+	kb.class("Scientist", "scientist", person)
+	kb.class("Philosopher", "philosopher", person)
+
+	org := kb.class("Organisation", "organisation", agent)
+	kb.class("Company", "company", org)
+	kb.class("University", "university", org)
+	team := kb.class("SportsTeam", "sports team", org)
+	kb.class("BasketballTeam", "basketball team", team)
+	kb.class("Band", "band", org)
+	kb.class("PoliticalParty", "political party", org)
+	kb.class("SportsLeague", "sports league", org)
+
+	place := kb.class("Place", "place", thing)
+	popPlace := kb.class("PopulatedPlace", "populated place", place)
+	kb.class("Country", "country", popPlace)
+	settlement := kb.class("Settlement", "settlement", popPlace)
+	kb.class("City", "city", settlement)
+	kb.class("Town", "town", settlement)
+	natural := kb.class("NaturalPlace", "natural place", place)
+	kb.class("Mountain", "mountain", natural)
+	kb.class("River", "river", natural)
+	kb.class("Lake", "lake", natural)
+	kb.class("Island", "island", natural)
+	kb.class("Continent", "continent", place)
+	arch := kb.class("ArchitecturalStructure", "architectural structure", place)
+	kb.class("Building", "building", arch)
+	kb.class("Bridge", "bridge", arch)
+
+	work := kb.class("Work", "work", thing)
+	written := kb.class("WrittenWork", "written work", work)
+	kb.class("Book", "book", written)
+	kb.class("Film", "film", work)
+	musical := kb.class("MusicalWork", "musical work", work)
+	kb.class("Album", "album", musical)
+	kb.class("Song", "song", musical)
+	software := kb.class("Software", "software", work)
+	kb.class("VideoGame", "video game", software)
+
+	kb.class("Language", "language", thing)
+	kb.class("Currency", "currency", thing)
+	kb.class("Award", "award", thing)
+
+	ont := func(l string) rdf.Term { return rdf.Ont(l) }
+
+	// Object properties.
+	kb.objProp("author", "author", ont("WrittenWork"), person)
+	kb.objProp("writer", "writer", work, person)
+	kb.objProp("director", "director", ont("Film"), person)
+	kb.objProp("starring", "starring", ont("Film"), ont("Actor"))
+	kb.objProp("producer", "producer", work, agent)
+	kb.objProp("musicComposer", "music composer", work, ont("MusicalArtist"))
+	kb.objProp("developer", "developer", ont("Software"), ont("Company"))
+	kb.objProp("publisher", "publisher", ont("WrittenWork"), ont("Company"))
+	kb.objProp("birthPlace", "birth place", person, place)
+	kb.objProp("deathPlace", "death place", person, place)
+	kb.objProp("residence", "residence", person, place)
+	kb.objProp("hometown", "home town", person, place)
+	kb.objProp("nationality", "nationality", person, ont("Country"))
+	kb.objProp("spouse", "spouse", person, person)
+	kb.objProp("child", "child", person, person)
+	kb.objProp("parent", "parent", person, person)
+	kb.objProp("almaMater", "alma mater", person, ont("University"))
+	kb.objProp("employer", "employer", person, org)
+	kb.objProp("team", "team", athlete, team)
+	kb.objProp("league", "league", team, ont("SportsLeague"))
+	kb.objProp("capital", "capital", ont("Country"), ont("City"))
+	kb.objProp("largestCity", "largest city", ont("Country"), ont("City"))
+	kb.objProp("country", "country", place, ont("Country"))
+	kb.objProp("leaderName", "leader name", popPlace, person)
+	kb.objProp("chancellor", "chancellor", ont("Country"), person)
+	kb.objProp("mayor", "mayor", ont("City"), person)
+	kb.objProp("headquarter", "headquarter", org, ont("City"))
+	kb.objProp("foundedBy", "founded by", org, person)
+	kb.objProp("keyPerson", "key person", ont("Company"), person)
+	kb.objProp("location", "location", thing, place)
+	kb.objProp("currency", "currency", ont("Country"), ont("Currency"))
+	kb.objProp("officialLanguage", "official language", ont("Country"), ont("Language"))
+	kb.objProp("language", "language", ont("Country"), ont("Language"))
+	kb.objProp("anthem", "anthem", ont("Country"), ont("Song"))
+	kb.objProp("crosses", "crosses", ont("Bridge"), ont("River"))
+	kb.objProp("award", "award", person, ont("Award"))
+	kb.objProp("influencedBy", "influenced by", person, person)
+	kb.objProp("doctoralAdvisor", "doctoral advisor", ont("Scientist"), ont("Scientist"))
+	kb.objProp("sourceCountry", "source country", ont("River"), ont("Country"))
+
+	// Data properties.
+	kb.dataProp("height", "height", person, rdf.XSDDouble)
+	kb.dataProp("weight", "weight", person, rdf.XSDDouble)
+	kb.dataProp("birthDate", "birth date", person, rdf.XSDDate)
+	kb.dataProp("deathDate", "death date", person, rdf.XSDDate)
+	kb.dataProp("populationTotal", "population total", popPlace, rdf.XSDNonNegativeInteger)
+	kb.dataProp("areaTotal", "area total", place, rdf.XSDDouble)
+	kb.dataProp("elevation", "elevation", place, rdf.XSDDouble)
+	kb.dataProp("length", "length", ont("River"), rdf.XSDDouble)
+	kb.dataProp("depth", "depth", ont("Lake"), rdf.XSDDouble)
+	kb.dataProp("foundingDate", "founding date", org, rdf.XSDDate)
+	kb.dataProp("numberOfEmployees", "number of employees", ont("Company"), rdf.XSDNonNegativeInteger)
+	kb.dataProp("numberOfPages", "number of pages", ont("Book"), rdf.XSDPositiveInteger)
+	kb.dataProp("numberOfStudents", "number of students", ont("University"), rdf.XSDNonNegativeInteger)
+	kb.dataProp("runtime", "runtime", ont("Film"), rdf.XSDDouble)
+	kb.dataProp("releaseDate", "release date", work, rdf.XSDDate)
+	kb.dataProp("budget", "budget", ont("Film"), rdf.XSDDouble)
+}
+
+// --- entity construction helpers ---
+
+// ent creates an entity with label and classes, returning its term.
+func (kb *KB) ent(local, label string, classes ...string) rdf.Term {
+	t := rdf.Res(local)
+	kb.Store.Add(rdf.Triple{S: t, P: rdf.Label(), O: rdf.NewLangLiteral(label, "en")})
+	for _, c := range classes {
+		kb.Store.Add(rdf.Triple{S: t, P: rdf.Type(), O: rdf.Ont(c)})
+	}
+	return t
+}
+
+// fact asserts (s, dbont:prop, o) and the page links both ways.
+func (kb *KB) fact(s rdf.Term, prop string, o rdf.Term) {
+	kb.Store.Add(rdf.Triple{S: s, P: rdf.Ont(prop), O: o})
+	if o.IsIRI() && strings.HasPrefix(o.Value, rdf.NSRes) {
+		kb.link(s, o)
+	}
+}
+
+// link adds wikiPageWikiLink edges in both directions.
+func (kb *KB) link(a, b rdf.Term) {
+	kb.Store.Add(rdf.Triple{S: a, P: rdf.NewIRI(rdf.IRIPageLink), O: b})
+	kb.Store.Add(rdf.Triple{S: b, P: rdf.NewIRI(rdf.IRIPageLink), O: a})
+}
+
+// dataFact asserts a literal-valued fact.
+func (kb *KB) dataFact(s rdf.Term, prop string, o rdf.Term) {
+	kb.Store.Add(rdf.Triple{S: s, P: rdf.Ont(prop), O: o})
+}
+
+// buildSynthetic adds the deterministic generated long tail.
+func (kb *KB) buildSynthetic(cfg Config) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cities := make([]rdf.Term, 0, cfg.SyntheticCities)
+	for i := 0; i < cfg.SyntheticCities; i++ {
+		name := fmt.Sprintf("Synthville_%03d", i)
+		c := kb.ent(name, strings.ReplaceAll(name, "_", " "), "City")
+		kb.dataFact(c, "populationTotal", rdf.NewInteger(int64(1000+rng.Intn(5_000_000))))
+		kb.dataFact(c, "elevation", rdf.NewDouble(float64(rng.Intn(3000))))
+		cities = append(cities, c)
+	}
+	persons := make([]rdf.Term, 0, cfg.SyntheticPersons)
+	for i := 0; i < cfg.SyntheticPersons; i++ {
+		name := fmt.Sprintf("Synth_Person_%04d", i)
+		p := kb.ent(name, strings.ReplaceAll(name, "_", " "), "Person")
+		if len(cities) > 0 {
+			kb.fact(p, "birthPlace", cities[rng.Intn(len(cities))])
+			if rng.Float64() < 0.3 {
+				kb.fact(p, "deathPlace", cities[rng.Intn(len(cities))])
+			}
+			if rng.Float64() < 0.4 {
+				kb.fact(p, "residence", cities[rng.Intn(len(cities))])
+			}
+		}
+		kb.dataFact(p, "height", rdf.NewDouble(1.5+rng.Float64()*0.6))
+		kb.dataFact(p, "birthDate", rdf.NewDate(fmt.Sprintf("%04d-%02d-%02d",
+			1900+rng.Intn(100), 1+rng.Intn(12), 1+rng.Intn(28))))
+		if rng.Float64() < 0.5 && len(persons) > 0 {
+			other := persons[rng.Intn(len(persons))]
+			kb.fact(p, "spouse", other)
+			kb.fact(other, "spouse", p)
+		}
+		persons = append(persons, p)
+	}
+	for i := 0; i < cfg.SyntheticBooks; i++ {
+		name := fmt.Sprintf("Synth_Book_%04d", i)
+		b := kb.ent(name, strings.ReplaceAll(name, "_", " "), "Book")
+		if len(persons) > 0 {
+			author := persons[rng.Intn(len(persons))]
+			kb.fact(b, "author", author)
+		}
+		kb.dataFact(b, "numberOfPages", rdf.NewInteger(int64(80+rng.Intn(900))))
+	}
+}

@@ -1,0 +1,97 @@
+package kb
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+func newStoreWith(triples []rdf.Triple) *store.Store {
+	st := store.New()
+	st.AddAll(triples)
+	return st
+}
+
+// FromTriples reconstructs a KB from raw triples (e.g. a kbgen dump or
+// an external DBpedia-style file): the ontology indexes (classes,
+// object/data properties with labels, domains and ranges) are rebuilt
+// from the owl:Class / owl:ObjectProperty / owl:DatatypeProperty
+// declarations, and the rdf:type closure is re-materialised.
+func FromTriples(triples []rdf.Triple) (*KB, error) {
+	kb := &KB{
+		Store:        newStoreWith(triples),
+		classByLocal: map[string]Class{},
+		propByLocal:  map[string]Property{},
+	}
+	st := kb.Store
+
+	labelOf := func(t rdf.Term) string {
+		for _, o := range st.Objects(t, rdf.Label()) {
+			return o.Value
+		}
+		return strings.ToLower(strings.ReplaceAll(t.LocalName(), "_", " "))
+	}
+	firstObject := func(s rdf.Term, p string) rdf.Term {
+		for _, o := range st.Objects(s, rdf.NewIRI(p)) {
+			return o
+		}
+		return rdf.Term{}
+	}
+
+	for _, cls := range st.Subjects(rdf.Type(), rdf.NewIRI(rdf.IRIClass)) {
+		if !strings.HasPrefix(cls.Value, rdf.NSOnt) {
+			continue
+		}
+		c := Class{Term: cls, Label: labelOf(cls), Parent: firstObject(cls, rdf.IRISubClassOf)}
+		kb.Classes = append(kb.Classes, c)
+		kb.classByLocal[cls.LocalName()] = c
+	}
+	for _, prop := range st.Subjects(rdf.Type(), rdf.NewIRI(rdf.IRIObjectProp)) {
+		p := Property{
+			Term: prop, Label: labelOf(prop), Object: true,
+			Domain: firstObject(prop, rdf.IRIDomain),
+			Range:  firstObject(prop, rdf.IRIRange),
+		}
+		kb.ObjectProperties = append(kb.ObjectProperties, p)
+		kb.propByLocal[prop.LocalName()] = p
+	}
+	for _, prop := range st.Subjects(rdf.Type(), rdf.NewIRI(rdf.IRIDatatypeProp)) {
+		p := Property{
+			Term: prop, Label: labelOf(prop), Object: false,
+			Domain: firstObject(prop, rdf.IRIDomain),
+			Range:  firstObject(prop, rdf.IRIRange),
+		}
+		kb.DataProperties = append(kb.DataProperties, p)
+		kb.propByLocal[prop.LocalName()] = p
+	}
+	if len(kb.Classes) == 0 {
+		return nil, fmt.Errorf("kb: no dbont: classes found in %d triples (missing ontology declarations?)", len(triples))
+	}
+	kb.materializeTypes()
+	return kb, nil
+}
+
+// Load reads a KB from an N-Triples (.nt) or Turtle (.ttl) stream; the
+// format is chosen by the name's extension, defaulting to N-Triples.
+func Load(r io.Reader, name string) (*KB, error) {
+	var (
+		triples []rdf.Triple
+		err     error
+	)
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ".ttl", ".turtle":
+		triples, err = turtle.Parse(r)
+	default:
+		triples, err = ntriples.ReadAll(r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return FromTriples(triples)
+}

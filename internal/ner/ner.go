@@ -1,0 +1,285 @@
+// Package ner spots named entities in question text and disambiguates
+// them against the knowledge base. It substitutes the method of the
+// paper's reference [15] (Hakimov et al., SWIM 2012): candidate entities
+// come from label matching (a gazetteer over rdfs:label), and
+// disambiguation scores each candidate by graph centrality over the
+// wikiPageWikiLink graph restricted to the candidates of all co-spotted
+// mentions, combined with string similarity between the mention and the
+// entity label (§2.2.5).
+package ner
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/nlp/token"
+	"repro/internal/rdf"
+	"repro/internal/strsim"
+)
+
+// Candidate is one KB entity considered for a mention.
+type Candidate struct {
+	Entity rdf.Term
+	Label  string
+	Score  float64
+}
+
+// Mention is one spotted entity mention.
+type Mention struct {
+	// Text is the surface form.
+	Text string
+	// Start/End are token indexes (End exclusive).
+	Start, End int
+	// Candidates holds the scored candidates, best first (after
+	// Disambiguate).
+	Candidates []Candidate
+	// Entity is the selected candidate's entity (zero before
+	// disambiguation or if no candidate exists).
+	Entity rdf.Term
+}
+
+// Linker spots and disambiguates mentions against one KB.
+type Linker struct {
+	kb           *kb.KB
+	labelIndex   map[string][]rdf.Term
+	labelOf      map[rdf.Term]string
+	maxLabelLen  int // in tokens
+	globalDegree map[rdf.Term]int
+	maxDegree    float64
+}
+
+// NewLinker builds the gazetteer and link-degree indexes.
+func NewLinker(k *kb.KB) *Linker {
+	l := &Linker{
+		kb:           k,
+		labelIndex:   map[string][]rdf.Term{},
+		labelOf:      map[rdf.Term]string{},
+		globalDegree: map[rdf.Term]int{},
+	}
+	k.Store.ForEachMatch(rdf.Triple{P: rdf.Label()}, func(t rdf.Triple) bool {
+		if !strings.HasPrefix(t.S.Value, rdf.NSRes) {
+			return true
+		}
+		key := strings.ToLower(t.O.Value)
+		l.labelIndex[key] = append(l.labelIndex[key], t.S)
+		if _, ok := l.labelOf[t.S]; !ok {
+			l.labelOf[t.S] = t.O.Value
+		}
+		if n := len(token.Words(t.O.Value)); n > l.maxLabelLen {
+			l.maxLabelLen = n
+		}
+		return true
+	})
+	for _, ents := range l.labelIndex {
+		sort.Slice(ents, func(i, j int) bool { return ents[i].Compare(ents[j]) < 0 })
+	}
+	k.Store.ForEachMatch(rdf.Triple{P: rdf.NewIRI(rdf.IRIPageLink)}, func(t rdf.Triple) bool {
+		l.globalDegree[t.S]++
+		return true
+	})
+	for _, d := range l.globalDegree {
+		if float64(d) > l.maxDegree {
+			l.maxDegree = float64(d)
+		}
+	}
+	if l.maxDegree == 0 {
+		l.maxDegree = 1
+	}
+	return l
+}
+
+// Spot finds candidate mentions by longest-match n-gram label lookup.
+// Lowercase single words are skipped unless no capitalised token exists
+// in the gram (protects against common-noun/label collisions like
+// "snow" vs the novel Snow).
+func (l *Linker) Spot(words []string) []Mention {
+	var out []Mention
+	n := len(words)
+	used := make([]bool, n)
+	maxLen := l.maxLabelLen
+	if maxLen == 0 {
+		maxLen = 1
+	}
+	for span := maxLen; span >= 1; span-- {
+		for i := 0; i+span <= n; i++ {
+			overlap := false
+			for j := i; j < i+span; j++ {
+				if used[j] {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				continue
+			}
+			gram := strings.Join(words[i:i+span], " ")
+			ents := l.labelIndex[strings.ToLower(gram)]
+			if len(ents) == 0 {
+				continue
+			}
+			if !containsCapital(words[i : i+span]) {
+				continue // only capitalised surface forms spot entities
+			}
+			m := Mention{Text: gram, Start: i, End: i + span}
+			for _, e := range ents {
+				m.Candidates = append(m.Candidates, Candidate{Entity: e, Label: l.labelOf[e]})
+			}
+			out = append(out, m)
+			for j := i; j < i+span; j++ {
+				used[j] = true
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+func containsCapital(words []string) bool {
+	for _, w := range words {
+		if w != "" && w[0] >= 'A' && w[0] <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+// Disambiguate scores every candidate of every mention and selects the
+// best one per mention. The score combines (a) degree centrality in the
+// page-link graph restricted to the candidates of the *other* mentions,
+// (b) normalised global page-link degree, and (c) string similarity
+// between mention text and entity label — the recipe of ref. [15] plus
+// the paper's §2.2.5 string-similarity addition.
+func (l *Linker) Disambiguate(mentions []Mention) []Mention {
+	// Candidate pool across mentions.
+	pool := map[rdf.Term]bool{}
+	for _, m := range mentions {
+		for _, c := range m.Candidates {
+			pool[c.Entity] = true
+		}
+	}
+	link := rdf.NewIRI(rdf.IRIPageLink)
+	for mi := range mentions {
+		m := &mentions[mi]
+		for ci := range m.Candidates {
+			c := &m.Candidates[ci]
+			// Local centrality: links into the other mentions' candidates.
+			local := 0
+			l.kb.Store.ForEachMatch(rdf.Triple{S: c.Entity, P: link}, func(t rdf.Triple) bool {
+				if pool[t.O] && !sameMention(m, t.O) {
+					local++
+				}
+				return true
+			})
+			global := float64(l.globalDegree[c.Entity]) / l.maxDegree
+			sim := strsim.JaroWinkler(strings.ToLower(m.Text), strings.ToLower(c.Label))
+			c.Score = 2.0*float64(local) + 0.5*global + sim
+		}
+		sort.SliceStable(m.Candidates, func(i, j int) bool {
+			if m.Candidates[i].Score != m.Candidates[j].Score {
+				return m.Candidates[i].Score > m.Candidates[j].Score
+			}
+			return m.Candidates[i].Entity.Compare(m.Candidates[j].Entity) < 0
+		})
+		if len(m.Candidates) > 0 {
+			m.Entity = m.Candidates[0].Entity
+		}
+	}
+	return mentions
+}
+
+// sameMention reports whether e is one of m's own candidates (own
+// candidates must not reinforce each other).
+func sameMention(m *Mention, e rdf.Term) bool {
+	for _, c := range m.Candidates {
+		if c.Entity == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Link runs Spot + Disambiguate over raw text.
+func (l *Linker) Link(text string) []Mention {
+	return l.Disambiguate(l.Spot(token.Words(text)))
+}
+
+// Resolve links a single phrase, using optional context phrases for the
+// centrality signal. It returns the selected entity and the scored
+// candidate list.
+func (l *Linker) Resolve(phrase string, context ...string) (rdf.Term, []Candidate, bool) {
+	words := token.Words(phrase)
+	if len(words) == 0 {
+		return rdf.Term{}, nil, false
+	}
+	candidates := l.candidatesFor(phrase)
+	if len(candidates) == 0 {
+		return rdf.Term{}, nil, false
+	}
+	m := Mention{Text: phrase, Start: 0, End: len(words), Candidates: candidates}
+	ms := []Mention{m}
+	for i, ctx := range context {
+		if strings.EqualFold(ctx, phrase) {
+			continue
+		}
+		cc := l.candidatesFor(ctx)
+		if len(cc) > 0 {
+			ms = append(ms, Mention{Text: ctx, Start: 100 + i, End: 101 + i, Candidates: cc})
+		}
+	}
+	ms = l.Disambiguate(ms)
+	return ms[0].Entity, ms[0].Candidates, !ms[0].Entity.IsZero()
+}
+
+// candidatesFor returns label-matched candidates for a phrase, with
+// fallbacks: exact label, then the phrase without a leading article,
+// then a fuzzy pass over labels sharing the first letter (Jaro-Winkler
+// ≥ 0.92).
+func (l *Linker) candidatesFor(phrase string) []Candidate {
+	tryExact := func(p string) []Candidate {
+		ents := l.labelIndex[strings.ToLower(strings.TrimSpace(p))]
+		out := make([]Candidate, 0, len(ents))
+		for _, e := range ents {
+			out = append(out, Candidate{Entity: e, Label: l.labelOf[e]})
+		}
+		return out
+	}
+	if cs := tryExact(phrase); len(cs) > 0 {
+		return cs
+	}
+	lower := strings.ToLower(phrase)
+	for _, art := range []string{"the ", "a ", "an "} {
+		if strings.HasPrefix(lower, art) {
+			if cs := tryExact(phrase[len(art):]); len(cs) > 0 {
+				return cs
+			}
+		}
+	}
+	// Fuzzy pass.
+	var out []Candidate
+	if lower == "" {
+		return nil
+	}
+	first := lower[0]
+	for label, ents := range l.labelIndex {
+		if label == "" || label[0] != first {
+			continue
+		}
+		if sim := strsim.JaroWinkler(lower, label); sim >= 0.92 {
+			for _, e := range ents {
+				out = append(out, Candidate{Entity: e, Label: l.labelOf[e], Score: sim})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity.Compare(out[j].Entity) < 0
+	})
+	const maxFuzzy = 5
+	if len(out) > maxFuzzy {
+		out = out[:maxFuzzy]
+	}
+	return out
+}

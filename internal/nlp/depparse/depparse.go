@@ -1,0 +1,203 @@
+// Package depparse produces typed dependency graphs for English
+// questions (and simple declaratives). It substitutes the Stanford
+// CoreNLP dependency parser the paper uses: the pipeline consumes POS
+// tags plus typed dependency edges (nsubj, nsubjpass, dobj, det, cop,
+// aux, auxpass, prep, pobj, amod, advmod, nn, num), and this parser emits
+// exactly that inventory for the interrogative constructions the paper's
+// triple-extraction rules cover (Figure 1 and §2.1).
+//
+// The algorithm is deterministic and rule-based:
+//
+//  1. tokenize, POS-tag and lemmatize (packages token, postag, lemma);
+//  2. chunk base noun phrases (determiner + adjectives + noun run, with
+//     proper-noun compounds) and emit their internal det/amod/nn/num
+//     edges;
+//  3. identify the verbal core (auxiliaries, copulas, main verb);
+//  4. dispatch on the question shape (passive wh, copular wh, how-ADJ,
+//     how-many, wh-adverb with do-support, active wh, boolean, generic
+//     declarative) and emit the clause-level edges;
+//  5. attach prepositional phrases (of-PPs to the preceding noun,
+//     otherwise to the verbal/root site) and punctuation.
+package depparse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/nlp/lemma"
+	"repro/internal/nlp/postag"
+	"repro/internal/nlp/token"
+)
+
+// Node is one token in the graph.
+type Node struct {
+	Index int
+	Word  string
+	Lemma string
+	Tag   string
+}
+
+// Edge is a typed dependency: Rel(head -> dep). Head == -1 marks the root.
+type Edge struct {
+	Head int
+	Dep  int
+	Rel  string
+}
+
+// Graph is the dependency analysis of one sentence.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+	Root  int
+}
+
+// Relations emitted by the parser (Stanford typed dependency names).
+const (
+	RelRoot      = "root"
+	RelDet       = "det"
+	RelNSubj     = "nsubj"
+	RelNSubjPass = "nsubjpass"
+	RelDObj      = "dobj"
+	RelAux       = "aux"
+	RelAuxPass   = "auxpass"
+	RelCop       = "cop"
+	RelPrep      = "prep"
+	RelPObj      = "pobj"
+	RelAmod      = "amod"
+	RelAdvmod    = "advmod"
+	RelNN        = "nn"
+	RelNum       = "num"
+	RelPunct     = "punct"
+	RelAttr      = "attr"
+	RelPoss      = "poss"
+	RelDep       = "dep"
+)
+
+// HeadOf returns the head index and relation of node i (-1, "root" for
+// the root; -1, "" if unattached).
+func (g *Graph) HeadOf(i int) (int, string) {
+	for _, e := range g.Edges {
+		if e.Dep == i {
+			return e.Head, e.Rel
+		}
+	}
+	return -1, ""
+}
+
+// Children returns the edges whose head is i, in dependent order.
+func (g *Graph) Children(i int) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Head == i {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dep < out[b].Dep })
+	return out
+}
+
+// ChildByRel returns the first dependent of i with the given relation.
+func (g *Graph) ChildByRel(i int, rel string) (Node, bool) {
+	for _, e := range g.Edges {
+		if e.Head == i && e.Rel == rel {
+			return g.Nodes[e.Dep], true
+		}
+	}
+	return Node{}, false
+}
+
+// FindRel returns every edge with the given relation.
+func (g *Graph) FindRel(rel string) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Rel == rel {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NodeByWord returns the first node whose lowercase word equals w.
+func (g *Graph) NodeByWord(w string) (Node, bool) {
+	lw := strings.ToLower(w)
+	for _, n := range g.Nodes {
+		if strings.ToLower(n.Word) == lw {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// String renders the graph in the indented tree style of the paper's
+// Figure 1: each node as "rel(headWord-headIdx, depWord-depIdx)".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	if g.Root >= 0 {
+		fmt.Fprintf(&sb, "root(ROOT-0, %s-%d)\n", g.Nodes[g.Root].Word, g.Root+1)
+	}
+	edges := append([]Edge(nil), g.Edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Dep < edges[j].Dep })
+	for _, e := range edges {
+		if e.Rel == RelRoot {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s(%s-%d, %s-%d)\n", e.Rel,
+			g.Nodes[e.Head].Word, e.Head+1, g.Nodes[e.Dep].Word, e.Dep+1)
+	}
+	return sb.String()
+}
+
+// Tree renders the graph as an indented tree (root at top), mirroring the
+// dependency tree figure in the paper.
+func (g *Graph) Tree() string {
+	var sb strings.Builder
+	if g.Root < 0 {
+		return ""
+	}
+	var rec func(i int, rel string, depth int)
+	rec = func(i int, rel string, depth int) {
+		fmt.Fprintf(&sb, "%s%s [%s] <-%s\n",
+			strings.Repeat("  ", depth), g.Nodes[i].Word, g.Nodes[i].Tag, rel)
+		for _, e := range g.Children(i) {
+			rec(e.Dep, e.Rel, depth+1)
+		}
+	}
+	rec(g.Root, RelRoot, 0)
+	return sb.String()
+}
+
+// Parse analyses one sentence.
+func Parse(sentence string) (*Graph, error) {
+	toks := token.Tokenize(sentence)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("depparse: empty sentence")
+	}
+	words := make([]string, len(toks))
+	for i, t := range toks {
+		words[i] = t.Text
+	}
+	tagged := postag.Tag(words)
+
+	g := &Graph{Root: -1}
+	for i, t := range tagged {
+		g.Nodes = append(g.Nodes, Node{
+			Index: i,
+			Word:  t.Word,
+			Lemma: lemma.Lemma(t.Word, t.Tag),
+			Tag:   t.Tag,
+		})
+	}
+	p := &ruleParser{g: g}
+	p.run()
+	return g, nil
+}
+
+// MustParse parses and panics on error (empty input only).
+func MustParse(sentence string) *Graph {
+	g, err := Parse(sentence)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,74 @@
+package depparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any non-empty word-salad built from the question
+// vocabulary, the parser produces a connected, acyclic, single-headed
+// graph. This is the structural invariant every downstream stage
+// assumes.
+func TestParserStructuralInvariants(t *testing.T) {
+	vocab := []string{
+		"which", "who", "what", "where", "when", "how", "is", "was",
+		"did", "the", "a", "book", "written", "by", "Orhan", "Pamuk",
+		"tall", "many", "people", "live", "in", "of", "capital", "die",
+		"born", "height", "and", "?", "'s", "to", "married", "1.98",
+	}
+	prop := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 14 {
+			picks = picks[:14]
+		}
+		words := make([]string, len(picks))
+		for i, p := range picks {
+			words[i] = vocab[int(p)%len(vocab)]
+		}
+		sentence := strings.Join(words, " ")
+		g, err := Parse(sentence)
+		if err != nil {
+			return strings.TrimSpace(sentence) == "" // only empty may fail
+		}
+		if g.Root < 0 || g.Root >= len(g.Nodes) {
+			return false
+		}
+		// Single head per non-root node.
+		for i := range g.Nodes {
+			heads := 0
+			for _, e := range g.Edges {
+				if e.Dep == i && e.Head >= 0 {
+					heads++
+				}
+			}
+			if i == g.Root {
+				if heads != 0 {
+					return false
+				}
+				continue
+			}
+			if heads != 1 {
+				return false
+			}
+		}
+		// Acyclic: every node reaches the root.
+		for i := range g.Nodes {
+			cur, steps := i, 0
+			for cur != g.Root {
+				h, _ := g.HeadOf(cur)
+				if h < 0 || steps > len(g.Nodes) {
+					return false
+				}
+				cur = h
+				steps++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

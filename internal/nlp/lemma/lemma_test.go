@@ -1,0 +1,132 @@
+package lemma
+
+import "testing"
+
+func TestIrregularVerbs(t *testing.T) {
+	cases := []struct{ word, tag, want string }{
+		{"written", "VBN", "write"},
+		{"wrote", "VBD", "write"},
+		{"born", "VBN", "bear"},
+		{"died", "VBD", "die"},
+		{"was", "VBD", "be"},
+		{"is", "VBZ", "be"},
+		{"has", "VBZ", "have"},
+		{"did", "VBD", "do"},
+		{"won", "VBD", "win"},
+		{"led", "VBD", "lead"},
+		{"founded", "VBN", "found"},
+		{"became", "VBD", "become"},
+		{"known", "VBN", "know"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, c.tag); got != c.want {
+			t.Errorf("Lemma(%s,%s) = %s, want %s", c.word, c.tag, got, c.want)
+		}
+	}
+}
+
+func TestRegularPastTense(t *testing.T) {
+	cases := []struct{ word, want string }{
+		{"directed", "direct"},
+		{"painted", "paint"},
+		{"created", "create"},
+		{"resided", "reside"},
+		{"starred", "star"},
+		{"stopped", "stop"},
+		{"studied", "study"},
+		{"married", "marry"}, // via irregular table
+		{"composed", "compose"},
+		{"developed", "develop"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, "VBD"); got != c.want {
+			t.Errorf("Lemma(%s, VBD) = %s, want %s", c.word, got, c.want)
+		}
+	}
+}
+
+func TestGerunds(t *testing.T) {
+	cases := []struct{ word, want string }{
+		{"writing", "write"},
+		{"running", "run"},
+		{"playing", "play"},
+		{"dying", "die"}, // irregular
+		{"starring", "star"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, "VBG"); got != c.want {
+			t.Errorf("Lemma(%s, VBG) = %s, want %s", c.word, got, c.want)
+		}
+	}
+}
+
+func TestPluralNouns(t *testing.T) {
+	cases := []struct{ word, want string }{
+		{"books", "book"},
+		{"cities", "city"},
+		{"children", "child"},
+		{"people", "person"},
+		{"wives", "wife"},
+		{"churches", "church"},
+		{"boxes", "box"},
+		{"heroes", "hero"},
+		{"glass", "glass"}, // -ss not stripped
+		{"bus", "bus"},     // -us not stripped
+		{"basis", "basis"}, // -is not stripped
+		{"headquarters", "headquarters"},
+		{"series", "series"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, "NNS"); got != c.want {
+			t.Errorf("Lemma(%s, NNS) = %s, want %s", c.word, got, c.want)
+		}
+	}
+}
+
+func TestThirdPersonVerbs(t *testing.T) {
+	cases := []struct{ word, want string }{
+		{"writes", "write"},
+		{"dies", "die"},
+		{"flows", "flow"},
+		{"crosses", "cross"},
+		{"goes", "go"},
+	}
+	for _, c := range cases {
+		if got := Lemma(c.word, "VBZ"); got != c.want {
+			t.Errorf("Lemma(%s, VBZ) = %s, want %s", c.word, got, c.want)
+		}
+	}
+}
+
+func TestProperNounsKeepForm(t *testing.T) {
+	if got := Lemma("Pamuk", "NNP"); got != "Pamuk" {
+		t.Errorf("proper noun lemma = %s", got)
+	}
+	if got := Lemma("Brothers", "NNPS"); got != "Brothers" {
+		t.Errorf("NNPS lemma = %s, want unchanged", got)
+	}
+}
+
+func TestLowercasingDefault(t *testing.T) {
+	if got := Lemma("Height", "NN"); got != "height" {
+		t.Errorf("Lemma(Height, NN) = %s, want height", got)
+	}
+}
+
+func TestUnknownTagGuessing(t *testing.T) {
+	// Empty tag: plural-looking words still strip.
+	if got := Lemma("mountains", ""); got != "mountain" {
+		t.Errorf("Lemma(mountains, '') = %s", got)
+	}
+	if got := Lemma("always", ""); got != "always" {
+		t.Errorf("Lemma(always, '') = %s, noStrip word mangled", got)
+	}
+}
+
+func TestShortWordsUntouched(t *testing.T) {
+	for _, w := range []string{"as", "is", "us", "so"} {
+		if got := Lemma(w, "NNS"); len(got) < 2 && w != "is" {
+			t.Errorf("short word %s mangled to %s", w, got)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package token implements the English tokenizer at the front of the
+// NLP stack. It substitutes for the tokenisation stage of Stanford
+// CoreNLP used by the paper: words, numbers, punctuation and clitics
+// ("'s", "n't") become separate tokens with byte offsets into the input.
+package token
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one token with its source span.
+type Token struct {
+	Text  string
+	Start int // byte offset of the first byte
+	End   int // byte offset one past the last byte
+}
+
+// Tokenize splits text into tokens. The rules cover interrogative English:
+//   - runs of letters/digits (plus interior hyphens, periods in
+//     initialisms like "D.C." and digits like "3.77") form words
+//   - the possessive clitic 's and the negation n't split off
+//   - all other punctuation becomes single-character tokens
+func Tokenize(text string) []Token {
+	var out []Token
+	runes := []rune(text)
+	byteOff := make([]int, len(runes)+1)
+	{
+		off := 0
+		for i, r := range runes {
+			byteOff[i] = off
+			off += len(string(r))
+		}
+		byteOff[len(runes)] = off
+	}
+
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case isWordRune(r):
+			start := i
+			for i < len(runes) && isWordContinuation(runes, i) {
+				i++
+			}
+			word := string(runes[start:i])
+			out = appendWordWithClitics(out, word, byteOff[start])
+		default:
+			out = append(out, Token{Text: string(r), Start: byteOff[i], End: byteOff[i+1]})
+			i++
+		}
+	}
+	return out
+}
+
+// Words returns just the token texts.
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isWordContinuation reports whether runes[i] continues the word that
+// started earlier: letters and digits always; '-' between letters;
+// '.' in initialisms (single letter before, letter after) or decimals
+// (digits on both sides); '\” only as part of clitics handled later.
+func isWordContinuation(runes []rune, i int) bool {
+	r := runes[i]
+	if isWordRune(r) {
+		return true
+	}
+	prevOK := i > 0 && isWordRune(runes[i-1])
+	nextOK := i+1 < len(runes) && isWordRune(runes[i+1])
+	switch r {
+	case '-':
+		return prevOK && nextOK
+	case '.':
+		if !prevOK || !nextOK {
+			// Allow trailing '.' of an initialism: "D.C." — previous two
+			// runes are ".X".
+			if prevOK && i >= 2 && runes[i-2] == '.' && unicode.IsUpper(runes[i-1]) {
+				return true
+			}
+			return false
+		}
+		// Decimal number "3.77".
+		if unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+			return true
+		}
+		// Initialism "D.C": single capital before the dot and a capital after.
+		if unicode.IsUpper(runes[i-1]) && unicode.IsUpper(runes[i+1]) &&
+			(i < 2 || !unicode.IsLetter(runes[i-2])) {
+			return true
+		}
+		// Continue initialisms beyond the first pair: "U.S.A".
+		if unicode.IsUpper(runes[i-1]) && i >= 2 && runes[i-2] == '.' {
+			return true
+		}
+		return false
+	case '\'':
+		// Keep apostrophe inside the word here; clitic splitting happens
+		// in appendWordWithClitics ("O'Brien" stays whole).
+		return prevOK && nextOK
+	}
+	return false
+}
+
+// appendWordWithClitics splits possessive 's and n't clitics off a word.
+func appendWordWithClitics(out []Token, word string, start int) []Token {
+	lower := strings.ToLower(word)
+	switch {
+	case len(word) > 2 && strings.HasSuffix(lower, "'s"):
+		head := word[:len(word)-2]
+		out = append(out, Token{Text: head, Start: start, End: start + len(head)})
+		out = append(out, Token{Text: word[len(word)-2:], Start: start + len(head), End: start + len(word)})
+	case len(word) > 3 && strings.HasSuffix(lower, "n't"):
+		head := word[:len(word)-3]
+		out = append(out, Token{Text: head, Start: start, End: start + len(head)})
+		out = append(out, Token{Text: word[len(word)-3:], Start: start + len(head), End: start + len(word)})
+	default:
+		out = append(out, Token{Text: word, Start: start, End: start + len(word)})
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package token
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasicQuestion(t *testing.T) {
+	got := Words("Which book is written by Orhan Pamuk?")
+	want := []string{"Which", "book", "is", "written", "by", "Orhan", "Pamuk", "?"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePossessive(t *testing.T) {
+	got := Words("What is Michael Jordan's height?")
+	want := []string{"What", "is", "Michael", "Jordan", "'s", "height", "?"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNegationClitic(t *testing.T) {
+	got := Words("Isn't Frank Herbert alive?")
+	want := []string{"Is", "n't", "Frank", "Herbert", "alive", "?"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNumbersAndInitialisms(t *testing.T) {
+	got := Words("Lincoln died in Washington D.C. in 1865; height 1.98 m.")
+	want := []string{"Lincoln", "died", "in", "Washington", "D.C.", "in",
+		"1865", ";", "height", "1.98", "m", "."}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeHyphens(t *testing.T) {
+	got := Words("a first-ever award")
+	want := []string{"a", "first-ever", "award"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeApostropheName(t *testing.T) {
+	got := Words("O'Brien wrote it")
+	want := []string{"O'Brien", "wrote", "it"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmptyAndSpace(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	if got := Tokenize("   \t\n "); len(got) != 0 {
+		t.Errorf("Tokenize(spaces) = %v", got)
+	}
+}
+
+func TestTokenOffsets(t *testing.T) {
+	text := "Who wrote Snow?"
+	toks := Tokenize(text)
+	for _, tok := range toks {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("offset mismatch: %q vs %q", text[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenOffsetsUnicode(t *testing.T) {
+	text := "Who is Gabriel García Márquez?"
+	toks := Tokenize(text)
+	for _, tok := range toks {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Errorf("unicode offset mismatch: %q vs %q", text[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+// Property: concatenating tokens in order reproduces the input minus
+// whitespace; offsets are monotonically increasing.
+func TestTokenizeProperties(t *testing.T) {
+	prop := func(s string) bool {
+		toks := Tokenize(s)
+		last := 0
+		for _, tok := range toks {
+			if tok.Start < last || tok.End <= tok.Start {
+				return false
+			}
+			if tok.Start >= len(s) || tok.End > len(s) {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			last = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package ntriples
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestParseBasicTriples(t *testing.T) {
+	src := `
+# a comment line
+<http://dbpedia.org/resource/Orhan_Pamuk> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://dbpedia.org/ontology/Writer> .
+<http://dbpedia.org/resource/Orhan_Pamuk> <http://www.w3.org/2000/01/rdf-schema#label> "Orhan Pamuk"@en .
+<http://dbpedia.org/resource/Michael_Jordan> <http://dbpedia.org/ontology/height> "1.98"^^<http://www.w3.org/2001/XMLSchema#double> .
+_:b0 <http://example.org/p> "plain" .
+`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 4 {
+		t.Fatalf("parsed %d triples, want 4", len(triples))
+	}
+	if triples[0].S != rdf.Res("Orhan_Pamuk") || triples[0].P != rdf.Type() || triples[0].O != rdf.Ont("Writer") {
+		t.Errorf("triple 0 = %v", triples[0])
+	}
+	if triples[1].O != rdf.NewLangLiteral("Orhan Pamuk", "en") {
+		t.Errorf("triple 1 object = %v", triples[1].O)
+	}
+	if triples[2].O != rdf.NewTypedLiteral("1.98", rdf.XSDDouble) {
+		t.Errorf("triple 2 object = %v", triples[2].O)
+	}
+	if !triples[3].S.IsBlank() || triples[3].S.Value != "b0" {
+		t.Errorf("triple 3 subject = %v", triples[3].S)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	src := `<http://e/s> <http://e/p> "tab\there \"quoted\" é \U0001F600 line\nend" .`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "tab\there \"quoted\" é 😀 line\nend"
+	if got := triples[0].O.Value; got != want {
+		t.Errorf("unescaped = %q, want %q", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://e/s> <http://e/p> "unterminated .`,
+		`<http://e/s> <http://e/p> .`,
+		`<http://e/s> <http://e/p> <http://e/o>`, // missing dot
+		`"literal" <http://e/p> <http://e/o> .`,  // literal subject
+		`<http://e/s> "literal" <http://e/o> .`,  // literal predicate
+		`<http://e/s> _:b <http://e/o> .`,        // blank predicate
+		`<http://e/s> <http://e/p> "bad \q escape" .`,
+		`<http://e/s> <http://e/p> "trunc \u12" .`,
+		`<> <http://e/p> <http://e/o> .`, // empty IRI
+		`<http://e/s> <http://e/p> <http://e/o> . extra`,
+		`<http://e/s <http://e/p> <http://e/o> .`, // unterminated IRI: eats rest
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		} else {
+			var pe *ParseError
+			if !asParseError(err, &pe) {
+				t.Errorf("error for %q is %T, want *ParseError", src, err)
+			}
+		}
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestParseErrorLineNumber(t *testing.T) {
+	src := "<http://e/s> <http://e/p> <http://e/o> .\n\n# comment\nbroken line\n"
+	_, err := ParseString(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *ParseError", err, err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 4") {
+		t.Errorf("Error() = %q, should mention line 4", pe.Error())
+	}
+}
+
+func TestCommentAndBlankLinesSkipped(t *testing.T) {
+	src := "\n\n# only comments\n# here\n"
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 0 {
+		t.Errorf("parsed %d triples from comments", len(triples))
+	}
+}
+
+func TestReaderNextEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next on empty = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	triples := []rdf.Triple{
+		{S: rdf.Res("Orhan_Pamuk"), P: rdf.Type(), O: rdf.Ont("Writer")},
+		{S: rdf.Res("Orhan_Pamuk"), P: rdf.Label(), O: rdf.NewLangLiteral("Orhan Pamuk", "en")},
+		{S: rdf.Res("Michael_Jordan"), P: rdf.Ont("height"), O: rdf.NewDouble(1.98)},
+		{S: rdf.Res("X"), P: rdf.Ont("note"), O: rdf.NewLiteral("line1\nline2\t\"q\" \\ done")},
+		{S: rdf.NewBlank("b0"), P: rdf.Ont("p"), O: rdf.NewLiteral("v")},
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v (output: %q)", err, buf.String())
+	}
+	if len(back) != len(triples) {
+		t.Fatalf("round trip count %d, want %d", len(back), len(triples))
+	}
+	for i := range triples {
+		if back[i] != triples[i] {
+			t.Errorf("round trip[%d] = %v, want %v", i, back[i], triples[i])
+		}
+	}
+}
+
+func TestWriteRejectsVariables(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	err := w.Write(rdf.Triple{S: rdf.NewVar("x"), P: rdf.Ont("p"), O: rdf.Res("O")})
+	if err == nil {
+		t.Fatal("expected error writing variable triple")
+	}
+	// Sticky error.
+	if err2 := w.Write(rdf.Triple{S: rdf.Res("S"), P: rdf.Ont("p"), O: rdf.Res("O")}); err2 == nil {
+		t.Error("sticky error not reported on subsequent Write")
+	}
+	if err3 := w.Flush(); err3 == nil {
+		t.Error("Flush should report sticky error")
+	}
+}
+
+func TestIRIEscaping(t *testing.T) {
+	tr := rdf.Triple{
+		S: rdf.NewIRI("http://e/with space"),
+		P: rdf.Ont("p"),
+		O: rdf.Res("O"),
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []rdf.Triple{tr}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "%20") {
+		t.Errorf("space not escaped: %q", buf.String())
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].S.Value != "http://e/with%20space" {
+		t.Errorf("re-parsed IRI = %q", back[0].S.Value)
+	}
+}
+
+// Property: writing then parsing any literal value survives round-trip.
+func TestLiteralRoundTripProperty(t *testing.T) {
+	prop := func(val string, lang bool) bool {
+		if !validUTF8(val) {
+			return true // skip invalid encodings; scanner normalises them
+		}
+		var o rdf.Term
+		if lang {
+			o = rdf.NewLangLiteral(val, "en")
+		} else {
+			o = rdf.NewLiteral(val)
+		}
+		tr := rdf.Triple{S: rdf.Res("S"), P: rdf.Ont("p"), O: o}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, []rdf.Triple{tr}); err != nil {
+			return false
+		}
+		back, err := ParseString(buf.String())
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0] == tr
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func validUTF8(s string) bool {
+	return strings.ToValidUTF8(s, "") == s
+}

@@ -1,0 +1,128 @@
+package patterns
+
+import "sort"
+
+// prefixTree stores the support sets of frequent pattern token
+// sequences, the structure PATTY [6] uses to determine inclusion, mutual
+// inclusion or independence of patterns: each node corresponds to a
+// token-sequence prefix and accumulates the entity pairs observed under
+// it, so support-set intersections resolve to tree walks.
+type prefixTree struct {
+	root *ptNode
+}
+
+type ptNode struct {
+	children map[string]*ptNode
+	support  map[string]struct{}
+	// terminal counts how many full patterns end at this node.
+	terminal int
+}
+
+func newPrefixTree() *prefixTree {
+	return &prefixTree{root: newPTNode()}
+}
+
+func newPTNode() *ptNode {
+	return &ptNode{children: map[string]*ptNode{}, support: map[string]struct{}{}}
+}
+
+// insert records one observation of the token sequence with its entity
+// pair; every prefix node accumulates the pair.
+func (t *prefixTree) insert(tokens []string, pair string) {
+	node := t.root
+	node.support[pair] = struct{}{}
+	for _, tok := range tokens {
+		child := node.children[tok]
+		if child == nil {
+			child = newPTNode()
+			node.children[tok] = child
+		}
+		child.support[pair] = struct{}{}
+		node = child
+	}
+	node.terminal++
+}
+
+// node returns the node for an exact token-sequence prefix.
+func (t *prefixTree) node(tokens []string) (*ptNode, bool) {
+	node := t.root
+	for _, tok := range tokens {
+		node = node.children[tok]
+		if node == nil {
+			return nil, false
+		}
+	}
+	return node, true
+}
+
+// SupportOf returns the support set size of a token-sequence prefix.
+func (t *prefixTree) SupportOf(tokens []string) int {
+	n, ok := t.node(tokens)
+	if !ok {
+		return 0
+	}
+	return len(n.support)
+}
+
+// IntersectionSize computes |support(a) ∩ support(b)| for two prefixes.
+func (t *prefixTree) IntersectionSize(a, b []string) int {
+	na, ok := t.node(a)
+	if !ok {
+		return 0
+	}
+	nb, ok := t.node(b)
+	if !ok {
+		return 0
+	}
+	small, large := na.support, nb.support
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	n := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// FrequentPrefixes returns all prefixes whose support reaches minSupport,
+// sorted by descending support then lexicographically.
+func (t *prefixTree) FrequentPrefixes(minSupport int) [][]string {
+	var out [][]string
+	var walk func(node *ptNode, path []string)
+	walk = func(node *ptNode, path []string) {
+		keys := make([]string, 0, len(node.children))
+		for k := range node.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			child := node.children[k]
+			next := append(append([]string(nil), path...), k)
+			if len(child.support) >= minSupport {
+				out = append(out, next)
+			}
+			walk(child, next)
+		}
+	}
+	walk(t.root, nil)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := t.SupportOf(out[i]), t.SupportOf(out[j])
+		if si != sj {
+			return si > sj
+		}
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Tree exposes the miner's prefix tree (read-only use in tools/tests).
+func (st *Store) Tree() *prefixTree { return st.tree }

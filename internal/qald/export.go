@@ -1,0 +1,145 @@
+package qald
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/rdf"
+)
+
+// This file provides the QALD challenge exchange format: the XML shape
+// participants submitted to the workshop (the paper's §3 evaluation was
+// scored from files like this), plus the macro-averaged per-question
+// metrics QALD reports alongside the paper's global counting.
+
+// xmlDataset is the root element of a QALD result file.
+type xmlDataset struct {
+	XMLName   xml.Name      `xml:"dataset"`
+	ID        string        `xml:"id,attr"`
+	Questions []xmlQuestion `xml:"question"`
+}
+
+type xmlQuestion struct {
+	ID      int         `xml:"id,attr"`
+	String  string      `xml:"string"`
+	Query   xmlQuery    `xml:"query"`
+	Answers *xmlAnswers `xml:"answers,omitempty"`
+}
+
+type xmlQuery struct {
+	Text string `xml:",cdata"`
+}
+
+type xmlAnswers struct {
+	Answers []xmlAnswer `xml:"answer"`
+}
+
+type xmlAnswer struct {
+	URI     string `xml:"uri,omitempty"`
+	Literal string `xml:"string,omitempty"`
+}
+
+// WriteXML emits the report in QALD challenge result format.
+func (r *Report) WriteXML(w io.Writer, datasetID string) error {
+	ds := xmlDataset{ID: datasetID}
+	for _, qr := range r.PerQuestion {
+		xq := xmlQuestion{
+			ID:     qr.Question.ID,
+			String: qr.Question.Text,
+			Query:  xmlQuery{Text: qr.WinningSPARQL},
+		}
+		if qr.Answered {
+			xa := &xmlAnswers{}
+			terms := append([]rdf.Term(nil), qr.System...)
+			sort.Slice(terms, func(i, j int) bool { return terms[i].Compare(terms[j]) < 0 })
+			for _, t := range terms {
+				if t.IsIRI() {
+					xa.Answers = append(xa.Answers, xmlAnswer{URI: t.Value})
+				} else {
+					xa.Answers = append(xa.Answers, xmlAnswer{Literal: t.Value})
+				}
+			}
+			xq.Answers = xa
+		}
+		ds.Questions = append(ds.Questions, xq)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(ds); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// MacroMetrics are the QALD-style macro-averaged per-question scores:
+// each question contributes its own precision/recall/F1 (unanswered
+// questions contribute zero), averaged over all questions.
+type MacroMetrics struct {
+	Precision, Recall, F1 float64
+}
+
+// Macro computes the macro-averaged metrics of the report.
+func (r *Report) Macro() MacroMetrics {
+	if len(r.PerQuestion) == 0 {
+		return MacroMetrics{}
+	}
+	var sp, sr, sf float64
+	for _, qr := range r.PerQuestion {
+		p, rec := perQuestionPR(qr.System, qr.Gold)
+		sp += p
+		sr += rec
+		if p+rec > 0 {
+			sf += 2 * p * rec / (p + rec)
+		}
+	}
+	n := float64(len(r.PerQuestion))
+	return MacroMetrics{Precision: sp / n, Recall: sr / n, F1: sf / n}
+}
+
+// perQuestionPR computes one question's precision and recall over
+// answer sets (QALD's definition). No system answers → P undefined,
+// counted 0 unless the gold is also empty (vacuous 1).
+func perQuestionPR(system, gold []rdf.Term) (p, r float64) {
+	sys := termSet(system)
+	gld := termSet(gold)
+	if len(sys) == 0 && len(gld) == 0 {
+		return 1, 1
+	}
+	if len(sys) == 0 || len(gld) == 0 {
+		return 0, 0
+	}
+	inter := 0
+	for t := range sys {
+		if gld[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sys)), float64(inter) / float64(len(gld))
+}
+
+func termSet(ts []rdf.Term) map[rdf.Term]bool {
+	out := map[rdf.Term]bool{}
+	for _, t := range ts {
+		out[t] = true
+	}
+	return out
+}
+
+// Summary renders a one-paragraph textual summary of the report with
+// both metric families.
+func (r *Report) Summary(k *kb.KB) string {
+	m := r.Macro()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "answered %d/%d questions, %d correct\n", r.Answered, r.Total, r.Correct)
+	fmt.Fprintf(&sb, "paper-style (global):    P=%.2f R=%.2f F1=%.2f\n", r.Precision, r.Recall, r.F1)
+	fmt.Fprintf(&sb, "QALD-style (macro avg):  P=%.2f R=%.2f F1=%.2f\n", m.Precision, m.Recall, m.F1)
+	return sb.String()
+}

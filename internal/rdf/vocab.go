@@ -1,0 +1,169 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Namespace IRIs used throughout the system. The dbont/res/dbprop
+// namespaces mirror the DBpedia layout the paper queries.
+const (
+	NSRDF    = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	NSRDFS   = "http://www.w3.org/2000/01/rdf-schema#"
+	NSOWL    = "http://www.w3.org/2002/07/owl#"
+	NSXSD    = "http://www.w3.org/2001/XMLSchema#"
+	NSOnt    = "http://dbpedia.org/ontology/"
+	NSRes    = "http://dbpedia.org/resource/"
+	NSProp   = "http://dbpedia.org/property/"
+	NSFOAF   = "http://xmlns.com/foaf/0.1/"
+	NSDBLink = "http://dbpedia.org/ontology/wikiPageWikiLink"
+)
+
+// Well-known term IRIs.
+const (
+	IRIType         = NSRDF + "type"
+	IRILabel        = NSRDFS + "label"
+	IRIComment      = NSRDFS + "comment"
+	IRISubClassOf   = NSRDFS + "subClassOf"
+	IRIDomain       = NSRDFS + "domain"
+	IRIRange        = NSRDFS + "range"
+	IRIClass        = NSOWL + "Class"
+	IRIObjectProp   = NSOWL + "ObjectProperty"
+	IRIDatatypeProp = NSOWL + "DatatypeProperty"
+	IRIThing        = NSOWL + "Thing"
+	IRIPageLink     = NSDBLink
+)
+
+// XSD datatype IRIs.
+const (
+	XSDString             = NSXSD + "string"
+	XSDInteger            = NSXSD + "integer"
+	XSDInt                = NSXSD + "int"
+	XSDLong               = NSXSD + "long"
+	XSDDecimal            = NSXSD + "decimal"
+	XSDDouble             = NSXSD + "double"
+	XSDFloat              = NSXSD + "float"
+	XSDBoolean            = NSXSD + "boolean"
+	XSDDate               = NSXSD + "date"
+	XSDDateTime           = NSXSD + "dateTime"
+	XSDGYear              = NSXSD + "gYear"
+	XSDGYearMonth         = NSXSD + "gYearMonth"
+	XSDNonNegativeInteger = NSXSD + "nonNegativeInteger"
+	XSDPositiveInteger    = NSXSD + "positiveInteger"
+)
+
+// Convenience term constructors for the common namespaces.
+
+// Type is the rdf:type IRI term.
+func Type() Term { return NewIRI(IRIType) }
+
+// Label is the rdfs:label IRI term.
+func Label() Term { return NewIRI(IRILabel) }
+
+// SubClassOf is the rdfs:subClassOf IRI term.
+func SubClassOf() Term { return NewIRI(IRISubClassOf) }
+
+// Ont returns the dbont: (DBpedia ontology) term for a local name.
+func Ont(local string) Term { return NewIRI(NSOnt + local) }
+
+// Res returns the res: (DBpedia resource) term for a local name.
+func Res(local string) Term { return NewIRI(NSRes + local) }
+
+// Prop returns the dbprop: (raw infobox property) term for a local name.
+func Prop(local string) Term { return NewIRI(NSProp + local) }
+
+// ResName converts a human label to a resource local name in the DBpedia
+// style: spaces to underscores ("Orhan Pamuk" -> "Orhan_Pamuk").
+func ResName(label string) string {
+	return strings.ReplaceAll(strings.TrimSpace(label), " ", "_")
+}
+
+// prefixTable is the global prefix registry used for rendering. It is
+// initialised with the standard set and may be extended (e.g. by parsers
+// encountering PREFIX declarations).
+var (
+	prefixMu    sync.RWMutex
+	prefixTable = map[string]string{
+		"rdf":    NSRDF,
+		"rdfs":   NSRDFS,
+		"owl":    NSOWL,
+		"xsd":    NSXSD,
+		"dbont":  NSOnt,
+		"res":    NSRes,
+		"dbprop": NSProp,
+		"foaf":   NSFOAF,
+	}
+	// prefixOrder caches namespaces sorted longest-first so shortening
+	// picks the most specific prefix.
+	prefixOrder []prefixEntry
+)
+
+type prefixEntry struct{ prefix, ns string }
+
+func rebuildPrefixOrder() {
+	prefixOrder = prefixOrder[:0]
+	for p, ns := range prefixTable {
+		prefixOrder = append(prefixOrder, prefixEntry{p, ns})
+	}
+	sort.Slice(prefixOrder, func(i, j int) bool {
+		if len(prefixOrder[i].ns) != len(prefixOrder[j].ns) {
+			return len(prefixOrder[i].ns) > len(prefixOrder[j].ns)
+		}
+		return prefixOrder[i].prefix < prefixOrder[j].prefix
+	})
+}
+
+func init() { rebuildPrefixOrder() }
+
+// RegisterPrefix adds or replaces a prefix binding in the global registry.
+func RegisterPrefix(prefix, ns string) {
+	prefixMu.Lock()
+	defer prefixMu.Unlock()
+	prefixTable[prefix] = ns
+	rebuildPrefixOrder()
+}
+
+// Prefixes returns a copy of the current prefix registry.
+func Prefixes() map[string]string {
+	prefixMu.RLock()
+	defer prefixMu.RUnlock()
+	out := make(map[string]string, len(prefixTable))
+	for k, v := range prefixTable {
+		out[k] = v
+	}
+	return out
+}
+
+// Shorten converts a full IRI to prefixed form if a registered namespace
+// matches. The local part must be a simple name (no '/' or '#').
+func Shorten(iri string) (string, bool) {
+	prefixMu.RLock()
+	defer prefixMu.RUnlock()
+	for _, e := range prefixOrder {
+		if strings.HasPrefix(iri, e.ns) {
+			local := iri[len(e.ns):]
+			if local == "" || strings.ContainsAny(local, "/#:") {
+				continue
+			}
+			return e.prefix + ":" + local, true
+		}
+	}
+	return "", false
+}
+
+// Expand converts a prefixed name ("dbont:writer") to a full IRI using the
+// registry. It reports whether the prefix was known.
+func Expand(qname string) (string, bool) {
+	i := strings.IndexByte(qname, ':')
+	if i < 0 {
+		return "", false
+	}
+	prefixMu.RLock()
+	ns, ok := prefixTable[qname[:i]]
+	prefixMu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	return ns + qname[i+1:], true
+}

@@ -1,0 +1,100 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Additional solution-modifier coverage: multi-key ordering, string
+// ordering, ASC keyword, LIMIT 0 and combined modifiers.
+
+func modGraph() *store.Store {
+	st := store.New()
+	add := func(name string, team string, h float64) {
+		p := rdf.Res(name)
+		st.Add(rdf.Triple{S: p, P: rdf.Ont("team"), O: rdf.Res(team)})
+		st.Add(rdf.Triple{S: p, P: rdf.Ont("height"), O: rdf.NewDouble(h)})
+	}
+	add("Alice", "Reds", 1.7)
+	add("Bob", "Reds", 1.9)
+	add("Cara", "Blues", 1.8)
+	add("Dan", "Blues", 1.6)
+	return st
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	st := modGraph()
+	res := exec(t, st, `SELECT ?p ?t ?h WHERE { ?p dbont:team ?t . ?p dbont:height ?h }
+		ORDER BY ?t DESC(?h)`)
+	if len(res.Solutions) != 4 {
+		t.Fatalf("rows = %d", len(res.Solutions))
+	}
+	wantOrder := []string{"Cara", "Dan", "Bob", "Alice"} // Blues desc-h, Reds desc-h
+	for i, want := range wantOrder {
+		if got := res.Solutions[i]["p"].LocalName(); got != want {
+			t.Errorf("row %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestOrderByAscKeyword(t *testing.T) {
+	st := modGraph()
+	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } ORDER BY ASC(?h) LIMIT 1`)
+	if res.Solutions[0]["p"] != rdf.Res("Dan") {
+		t.Errorf("shortest = %v", res.Solutions[0]["p"])
+	}
+}
+
+func TestOrderByStringValues(t *testing.T) {
+	st := modGraph()
+	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:team res:Reds } ORDER BY ?p`)
+	if res.Solutions[0]["p"] != rdf.Res("Alice") || res.Solutions[1]["p"] != rdf.Res("Bob") {
+		t.Errorf("order = %v", res.Solutions)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	st := modGraph()
+	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } LIMIT 0`)
+	if len(res.Solutions) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(res.Solutions))
+	}
+}
+
+func TestLimitOffsetCombined(t *testing.T) {
+	st := modGraph()
+	all := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } ORDER BY ?h`)
+	page := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } ORDER BY ?h LIMIT 2 OFFSET 1`)
+	if len(page.Solutions) != 2 {
+		t.Fatalf("page rows = %d", len(page.Solutions))
+	}
+	if page.Solutions[0]["p"] != all.Solutions[1]["p"] ||
+		page.Solutions[1]["p"] != all.Solutions[2]["p"] {
+		t.Error("pagination window wrong")
+	}
+}
+
+func TestCountWithModifiersIgnoresLimit(t *testing.T) {
+	// COUNT aggregates the full solution set; modifiers that would
+	// apply to rows are irrelevant to the single aggregate row.
+	st := modGraph()
+	res := exec(t, st, `SELECT (COUNT(?p) AS ?n) WHERE { ?p dbont:height ?h }`)
+	if res.Solutions[0]["n"] != rdf.NewInteger(4) {
+		t.Errorf("count = %v", res.Solutions[0]["n"])
+	}
+}
+
+func TestOrderByUnboundSortsFirst(t *testing.T) {
+	st := modGraph()
+	st.Add(rdf.Triple{S: rdf.Res("Eve"), P: rdf.Ont("team"), O: rdf.Res("Reds")})
+	// Eve has no height; OPTIONAL keeps her with h unbound.
+	res := exec(t, st, `SELECT ?p ?h WHERE { ?p dbont:team ?t . OPTIONAL { ?p dbont:height ?h } } ORDER BY ?h`)
+	if len(res.Solutions) != 5 {
+		t.Fatalf("rows = %d", len(res.Solutions))
+	}
+	if res.Solutions[0]["p"] != rdf.Res("Eve") {
+		t.Errorf("unbound row should sort first ascending: %v", res.Solutions[0])
+	}
+}

@@ -1,0 +1,368 @@
+// Package store provides the in-memory RDF triple store the question
+// answering pipeline queries. It plays the role DBpedia's public SPARQL
+// endpoint plays in the paper.
+//
+// Terms are dictionary-encoded to 32-bit IDs; triples are kept in three
+// hash indexes (SPO, POS, OSP) so that every wildcard combination of a
+// triple pattern resolves to an index scan. The store is safe for
+// concurrent readers; writes take an exclusive lock.
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. The zero ID is reserved and
+// never assigned.
+type ID uint32
+
+// Store is an indexed, dictionary-encoded triple store.
+type Store struct {
+	mu sync.RWMutex
+
+	dict    map[rdf.Term]ID
+	inverse []rdf.Term // inverse[id-1] = term
+
+	// Primary indexes: first key -> second key -> sorted third IDs.
+	spo map[ID]map[ID][]ID
+	pos map[ID]map[ID][]ID
+	osp map[ID]map[ID][]ID
+
+	size int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict: make(map[rdf.Term]ID, 1024),
+		spo:  make(map[ID]map[ID][]ID, 1024),
+		pos:  make(map[ID]map[ID][]ID, 256),
+		osp:  make(map[ID]map[ID][]ID, 1024),
+	}
+}
+
+// Len returns the number of distinct triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// TermCount returns the number of distinct terms in the dictionary.
+func (s *Store) TermCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.inverse)
+}
+
+// intern returns the ID for t, assigning one if needed. Caller holds mu.
+func (s *Store) intern(t rdf.Term) ID {
+	if id, ok := s.dict[t]; ok {
+		return id
+	}
+	s.inverse = append(s.inverse, t)
+	id := ID(len(s.inverse))
+	s.dict[t] = id
+	return id
+}
+
+// Lookup returns the ID of t if it is in the dictionary.
+func (s *Store) Lookup(t rdf.Term) (ID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.dict[t]
+	return id, ok
+}
+
+// Term returns the term for an ID. It returns a zero term for unknown IDs.
+func (s *Store) Term(id ID) rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 || int(id) > len(s.inverse) {
+		return rdf.Term{}
+	}
+	return s.inverse[id-1]
+}
+
+// Add inserts a triple. It reports whether the triple was new. Variable
+// terms are rejected (store data must be ground).
+func (s *Store) Add(t rdf.Triple) bool {
+	if t.S.IsVar() || t.P.IsVar() || t.O.IsVar() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sid, pid, oid := s.intern(t.S), s.intern(t.P), s.intern(t.O)
+	if !insertIndex(s.spo, sid, pid, oid) {
+		return false
+	}
+	insertIndex(s.pos, pid, oid, sid)
+	insertIndex(s.osp, oid, sid, pid)
+	s.size++
+	return true
+}
+
+// AddAll inserts every triple and returns the number newly added.
+func (s *Store) AddAll(ts []rdf.Triple) int {
+	n := 0
+	for _, t := range ts {
+		if s.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// insertIndex adds c to idx[a][b], keeping the slice sorted and unique.
+// It reports whether c was inserted.
+func insertIndex(idx map[ID]map[ID][]ID, a, b, c ID) bool {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[ID][]ID, 4)
+		idx[a] = m
+	}
+	lst := m[b]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= c })
+	if i < len(lst) && lst[i] == c {
+		return false
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = c
+	m[b] = lst
+	return true
+}
+
+// Has reports whether the exact ground triple is present.
+func (s *Store) Has(t rdf.Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sid, ok := s.dict[t.S]
+	if !ok {
+		return false
+	}
+	pid, ok := s.dict[t.P]
+	if !ok {
+		return false
+	}
+	oid, ok := s.dict[t.O]
+	if !ok {
+		return false
+	}
+	lst := s.spo[sid][pid]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
+	return i < len(lst) && lst[i] == oid
+}
+
+// Match returns all triples matching the pattern; nil (zero) or variable
+// terms act as wildcards. The result order is deterministic.
+func (s *Store) Match(pat rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	s.ForEachMatch(pat, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern.
+func (s *Store) Count(pat rdf.Triple) int {
+	n := 0
+	s.ForEachMatch(pat, func(rdf.Triple) bool { n++; return true })
+	return n
+}
+
+// ForEachMatch streams the triples matching pat to fn in deterministic
+// order; fn returning false stops the iteration early.
+func (s *Store) ForEachMatch(pat rdf.Triple, fn func(rdf.Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	bound := func(t rdf.Term) (ID, bool, bool) { // id, isBound, known
+		if t.IsZero() || t.IsVar() {
+			return 0, false, true
+		}
+		id, ok := s.dict[t]
+		return id, true, ok
+	}
+	sid, sb, sk := bound(pat.S)
+	pid, pb, pk := bound(pat.P)
+	oid, ob, ok := bound(pat.O)
+	if !sk || !pk || !ok {
+		return // a bound term not in the dictionary matches nothing
+	}
+
+	emit := func(a, b, c ID, order int) bool {
+		var t rdf.Triple
+		switch order {
+		case 0: // spo
+			t = rdf.Triple{S: s.inverse[a-1], P: s.inverse[b-1], O: s.inverse[c-1]}
+		case 1: // pos
+			t = rdf.Triple{S: s.inverse[c-1], P: s.inverse[a-1], O: s.inverse[b-1]}
+		default: // osp
+			t = rdf.Triple{S: s.inverse[b-1], P: s.inverse[c-1], O: s.inverse[a-1]}
+		}
+		return fn(t)
+	}
+
+	switch {
+	case sb && pb && ob: // fully ground: existence check
+		lst := s.spo[sid][pid]
+		i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
+		if i < len(lst) && lst[i] == oid {
+			emit(sid, pid, oid, 0)
+		}
+	case sb && pb: // S P ? -> spo[s][p]
+		for _, o := range s.spo[sid][pid] {
+			if !emit(sid, pid, o, 0) {
+				return
+			}
+		}
+	case pb && ob: // ? P O -> pos[p][o]
+		for _, sub := range s.pos[pid][oid] {
+			if !emit(pid, oid, sub, 1) {
+				return
+			}
+		}
+	case sb && ob: // S ? O -> osp[o][s]
+		for _, p := range s.osp[oid][sid] {
+			if !emit(oid, sid, p, 2) {
+				return
+			}
+		}
+	case sb: // S ? ? -> scan spo[s]
+		for _, p := range sortedKeys(s.spo[sid]) {
+			for _, o := range s.spo[sid][p] {
+				if !emit(sid, p, o, 0) {
+					return
+				}
+			}
+		}
+	case pb: // ? P ? -> scan pos[p]
+		for _, o := range sortedKeys(s.pos[pid]) {
+			for _, sub := range s.pos[pid][o] {
+				if !emit(pid, o, sub, 1) {
+					return
+				}
+			}
+		}
+	case ob: // ? ? O -> scan osp[o]
+		for _, sub := range sortedKeys(s.osp[oid]) {
+			for _, p := range s.osp[oid][sub] {
+				if !emit(oid, sub, p, 2) {
+					return
+				}
+			}
+		}
+	default: // full scan
+		for _, sub := range sortedOuterKeys(s.spo) {
+			for _, p := range sortedKeys(s.spo[sub]) {
+				for _, o := range s.spo[sub][p] {
+					if !emit(sub, p, o, 0) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+func sortedOuterKeys(m map[ID]map[ID][]ID) []ID {
+	keys := make([]ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedKeys(m map[ID][]ID) []ID {
+	keys := make([]ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// EstimateCardinality returns an upper-bound estimate of the number of
+// matches for pat, used by the SPARQL executor to order joins. It never
+// materialises results.
+func (s *Store) EstimateCardinality(pat rdf.Triple) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	bound := func(t rdf.Term) (ID, bool, bool) {
+		if t.IsZero() || t.IsVar() {
+			return 0, false, true
+		}
+		id, ok := s.dict[t]
+		return id, true, ok
+	}
+	sid, sb, sk := bound(pat.S)
+	pid, pb, pk := bound(pat.P)
+	oid, ob, ok := bound(pat.O)
+	if !sk || !pk || !ok {
+		return 0
+	}
+	sum := func(m map[ID][]ID) int {
+		n := 0
+		for _, lst := range m {
+			n += len(lst)
+		}
+		return n
+	}
+	switch {
+	case sb && pb && ob:
+		lst := s.spo[sid][pid]
+		i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
+		if i < len(lst) && lst[i] == oid {
+			return 1
+		}
+		return 0
+	case sb && pb:
+		return len(s.spo[sid][pid])
+	case pb && ob:
+		return len(s.pos[pid][oid])
+	case sb && ob:
+		return len(s.osp[oid][sid])
+	case sb:
+		return sum(s.spo[sid])
+	case pb:
+		return sum(s.pos[pid])
+	case ob:
+		return sum(s.osp[oid])
+	default:
+		return s.size
+	}
+}
+
+// Subjects returns the distinct subjects of triples with the given
+// predicate and object.
+func (s *Store) Subjects(p, o rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	s.ForEachMatch(rdf.Triple{P: p, O: o}, func(t rdf.Triple) bool {
+		out = append(out, t.S)
+		return true
+	})
+	return out
+}
+
+// Objects returns the distinct objects of triples with the given subject
+// and predicate.
+func (s *Store) Objects(sub, p rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	s.ForEachMatch(rdf.Triple{S: sub, P: p}, func(t rdf.Triple) bool {
+		out = append(out, t.O)
+		return true
+	})
+	return out
+}
+
+// Triples returns every triple in the store in deterministic order.
+func (s *Store) Triples() []rdf.Triple {
+	return s.Match(rdf.Triple{})
+}

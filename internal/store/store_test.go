@@ -1,0 +1,342 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func pamukGraph() *Store {
+	s := New()
+	s.AddAll([]rdf.Triple{
+		{S: rdf.Res("Orhan_Pamuk"), P: rdf.Type(), O: rdf.Ont("Writer")},
+		{S: rdf.Res("Snow"), P: rdf.Type(), O: rdf.Ont("Book")},
+		{S: rdf.Res("Snow"), P: rdf.Ont("author"), O: rdf.Res("Orhan_Pamuk")},
+		{S: rdf.Res("My_Name_Is_Red"), P: rdf.Type(), O: rdf.Ont("Book")},
+		{S: rdf.Res("My_Name_Is_Red"), P: rdf.Ont("author"), O: rdf.Res("Orhan_Pamuk")},
+		{S: rdf.Res("Michael_Jordan"), P: rdf.Ont("height"), O: rdf.NewDouble(1.98)},
+	})
+	return s
+}
+
+func TestAddAndLen(t *testing.T) {
+	s := New()
+	tr := rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.Res("B")}
+	if !s.Add(tr) {
+		t.Error("first Add should report new")
+	}
+	if s.Add(tr) {
+		t.Error("duplicate Add should report false")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if !s.Has(tr) {
+		t.Error("Has should find added triple")
+	}
+	if s.Has(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.Res("C")}) {
+		t.Error("Has found absent triple")
+	}
+}
+
+func TestAddRejectsVariables(t *testing.T) {
+	s := New()
+	if s.Add(rdf.Triple{S: rdf.NewVar("x"), P: rdf.Ont("p"), O: rdf.Res("B")}) {
+		t.Error("Add accepted a variable subject")
+	}
+	if s.Len() != 0 {
+		t.Error("store should stay empty")
+	}
+}
+
+func TestMatchAllPatterns(t *testing.T) {
+	s := pamukGraph()
+	v := rdf.NewVar("x")
+
+	cases := []struct {
+		name string
+		pat  rdf.Triple
+		want int
+	}{
+		{"S P O (hit)", rdf.Triple{S: rdf.Res("Snow"), P: rdf.Ont("author"), O: rdf.Res("Orhan_Pamuk")}, 1},
+		{"S P O (miss)", rdf.Triple{S: rdf.Res("Snow"), P: rdf.Ont("author"), O: rdf.Res("Nobody")}, 0},
+		{"S P ?", rdf.Triple{S: rdf.Res("Snow"), P: rdf.Ont("author"), O: v}, 1},
+		{"? P O", rdf.Triple{S: v, P: rdf.Ont("author"), O: rdf.Res("Orhan_Pamuk")}, 2},
+		{"S ? O", rdf.Triple{S: rdf.Res("Snow"), P: v, O: rdf.Ont("Book")}, 1},
+		{"S ? ?", rdf.Triple{S: rdf.Res("Snow"), P: v, O: v}, 2},
+		{"? P ?", rdf.Triple{S: v, P: rdf.Type(), O: v}, 3},
+		{"? ? O", rdf.Triple{S: v, P: v, O: rdf.Ont("Book")}, 2},
+		{"? ? ?", rdf.Triple{}, 6},
+		{"unknown term", rdf.Triple{S: rdf.Res("Missing"), P: v, O: v}, 0},
+	}
+	for _, c := range cases {
+		got := s.Match(c.pat)
+		if len(got) != c.want {
+			t.Errorf("%s: %d matches, want %d (%v)", c.name, len(got), c.want, got)
+		}
+		if n := s.Count(c.pat); n != c.want {
+			t.Errorf("%s: Count = %d, want %d", c.name, n, c.want)
+		}
+	}
+}
+
+func TestMatchDeterministicOrder(t *testing.T) {
+	s := pamukGraph()
+	a := s.Match(rdf.Triple{})
+	b := s.Match(rdf.Triple{})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForEachMatchEarlyStop(t *testing.T) {
+	s := pamukGraph()
+	n := 0
+	s.ForEachMatch(rdf.Triple{}, func(rdf.Triple) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestSubjectsObjects(t *testing.T) {
+	s := pamukGraph()
+	subs := s.Subjects(rdf.Ont("author"), rdf.Res("Orhan_Pamuk"))
+	if len(subs) != 2 {
+		t.Errorf("Subjects = %v, want 2 books", subs)
+	}
+	objs := s.Objects(rdf.Res("Snow"), rdf.Type())
+	if len(objs) != 1 || objs[0] != rdf.Ont("Book") {
+		t.Errorf("Objects = %v", objs)
+	}
+}
+
+func TestEstimateCardinality(t *testing.T) {
+	s := pamukGraph()
+	v := rdf.NewVar("x")
+	if got := s.EstimateCardinality(rdf.Triple{S: v, P: rdf.Type(), O: v}); got != 3 {
+		t.Errorf("estimate(?,type,?) = %d, want 3", got)
+	}
+	if got := s.EstimateCardinality(rdf.Triple{S: v, P: rdf.Ont("author"), O: rdf.Res("Orhan_Pamuk")}); got != 2 {
+		t.Errorf("estimate(?,author,Pamuk) = %d, want 2", got)
+	}
+	if got := s.EstimateCardinality(rdf.Triple{}); got != s.Len() {
+		t.Errorf("estimate(?,?,?) = %d, want %d", got, s.Len())
+	}
+	if got := s.EstimateCardinality(rdf.Triple{S: rdf.Res("Missing")}); got != 0 {
+		t.Errorf("estimate with unknown term = %d, want 0", got)
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	s := pamukGraph()
+	term := rdf.Res("Orhan_Pamuk")
+	id, ok := s.Lookup(term)
+	if !ok {
+		t.Fatal("Lookup failed")
+	}
+	if got := s.Term(id); got != term {
+		t.Errorf("Term(Lookup(x)) = %v, want %v", got, term)
+	}
+	if got := s.Term(0); !got.IsZero() {
+		t.Errorf("Term(0) = %v, want zero", got)
+	}
+	if got := s.Term(ID(s.TermCount() + 10)); !got.IsZero() {
+		t.Errorf("Term(out of range) = %v, want zero", got)
+	}
+}
+
+func TestConcurrentReadersWhileWriting(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Add(rdf.Triple{
+					S: rdf.Res(fmt.Sprintf("S%d_%d", w, i)),
+					P: rdf.Ont("p"),
+					O: rdf.NewInteger(int64(i)),
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Count(rdf.Triple{P: rdf.Ont("p")})
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Errorf("Len = %d, want 800", s.Len())
+	}
+}
+
+func classGraph() *Store {
+	s := New()
+	sub := func(a, b string) rdf.Triple {
+		return rdf.Triple{S: rdf.Ont(a), P: rdf.SubClassOf(), O: rdf.Ont(b)}
+	}
+	s.AddAll([]rdf.Triple{
+		sub("Writer", "Artist"),
+		sub("Artist", "Person"),
+		sub("Person", "Agent"),
+		sub("Company", "Organisation"),
+		sub("Organisation", "Agent"),
+		sub("City", "PopulatedPlace"),
+		sub("PopulatedPlace", "Place"),
+		{S: rdf.Res("Orhan_Pamuk"), P: rdf.Type(), O: rdf.Ont("Writer")},
+		{S: rdf.Res("Ankara"), P: rdf.Type(), O: rdf.Ont("City")},
+		{S: rdf.Res("IBM"), P: rdf.Type(), O: rdf.Ont("Company")},
+	})
+	return s
+}
+
+func TestSuperClasses(t *testing.T) {
+	s := classGraph()
+	supers := s.SuperClasses(rdf.Ont("Writer"))
+	want := map[rdf.Term]bool{rdf.Ont("Artist"): true, rdf.Ont("Person"): true, rdf.Ont("Agent"): true}
+	if len(supers) != len(want) {
+		t.Fatalf("SuperClasses = %v", supers)
+	}
+	for _, c := range supers {
+		if !want[c] {
+			t.Errorf("unexpected superclass %v", c)
+		}
+	}
+}
+
+func TestSubClasses(t *testing.T) {
+	s := classGraph()
+	subs := s.SubClasses(rdf.Ont("Agent"))
+	if len(subs) != 5 {
+		t.Errorf("SubClasses(Agent) = %v, want 5", subs)
+	}
+}
+
+func TestIsInstanceOf(t *testing.T) {
+	s := classGraph()
+	cases := []struct {
+		e, c string
+		want bool
+	}{
+		{"Orhan_Pamuk", "Writer", true},
+		{"Orhan_Pamuk", "Person", true},
+		{"Orhan_Pamuk", "Agent", true},
+		{"Orhan_Pamuk", "Place", false},
+		{"Ankara", "Place", true},
+		{"Ankara", "Person", false},
+		{"IBM", "Organisation", true},
+	}
+	for _, c := range cases {
+		if got := s.IsInstanceOf(rdf.Res(c.e), rdf.Ont(c.c)); got != c.want {
+			t.Errorf("IsInstanceOf(%s, %s) = %v, want %v", c.e, c.c, got, c.want)
+		}
+	}
+}
+
+func TestInstancesOf(t *testing.T) {
+	s := classGraph()
+	got := s.InstancesOf(rdf.Ont("Person"))
+	if len(got) != 1 || got[0] != rdf.Res("Orhan_Pamuk") {
+		t.Errorf("InstancesOf(Person) = %v", got)
+	}
+	agents := s.InstancesOf(rdf.Ont("Agent"))
+	if len(agents) != 2 {
+		t.Errorf("InstancesOf(Agent) = %v, want 2", agents)
+	}
+}
+
+func TestSubClassCycleTolerated(t *testing.T) {
+	s := New()
+	s.Add(rdf.Triple{S: rdf.Ont("A"), P: rdf.SubClassOf(), O: rdf.Ont("B")})
+	s.Add(rdf.Triple{S: rdf.Ont("B"), P: rdf.SubClassOf(), O: rdf.Ont("A")})
+	supers := s.SuperClasses(rdf.Ont("A"))
+	if len(supers) != 1 || supers[0] != rdf.Ont("B") {
+		t.Errorf("cycle: SuperClasses(A) = %v", supers)
+	}
+}
+
+// Property: after inserting a random set of triples, Match(?,?,?) returns
+// exactly the distinct set, and Has agrees with membership.
+func TestStoreProperties(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		want := map[rdf.Triple]bool{}
+		for i := 0; i < int(n%64)+1; i++ {
+			tr := rdf.Triple{
+				S: rdf.Res(fmt.Sprintf("S%d", rng.Intn(8))),
+				P: rdf.Ont(fmt.Sprintf("p%d", rng.Intn(4))),
+				O: rdf.NewInteger(int64(rng.Intn(8))),
+			}
+			want[tr] = true
+			s.Add(tr)
+		}
+		if s.Len() != len(want) {
+			return false
+		}
+		got := s.Match(rdf.Triple{})
+		if len(got) != len(want) {
+			return false
+		}
+		for _, tr := range got {
+			if !want[tr] {
+				return false
+			}
+			if !s.Has(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every Match pattern projection is consistent with the full scan.
+func TestMatchConsistencyProperty(t *testing.T) {
+	s := pamukGraph()
+	all := s.Match(rdf.Triple{})
+	for _, tr := range all {
+		v := rdf.NewVar("v")
+		pats := []rdf.Triple{
+			{S: tr.S, P: tr.P, O: v},
+			{S: v, P: tr.P, O: tr.O},
+			{S: tr.S, P: v, O: tr.O},
+			{S: tr.S, P: v, O: v},
+			{S: v, P: tr.P, O: v},
+			{S: v, P: v, O: tr.O},
+		}
+		for _, pat := range pats {
+			found := false
+			for _, m := range s.Match(pat) {
+				if m == tr {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("triple %v not found via pattern %v", tr, pat)
+			}
+		}
+	}
+}

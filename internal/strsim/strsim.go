@@ -1,0 +1,299 @@
+// Package strsim implements the string similarity measures used by the
+// entity and property extraction stage (§2.2 of the paper).
+//
+// The paper's primary metric is the "greatest common subsequence" score:
+// the length of the longest common subsequence between a question word
+// and a property name, divided by the length of the question word, with a
+// containment guard that rejects accidental substring hits such as the
+// property "taxiDriver" encapsulating the word "river". Levenshtein and
+// Jaro-Winkler are provided for the named-entity disambiguation stage.
+package strsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// LCSLength returns the length of the longest common subsequence of a and
+// b, computed case-insensitively over runes.
+func LCSLength(a, b string) int {
+	ra := []rune(strings.ToLower(a))
+	rb := []rune(strings.ToLower(b))
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	// Two-row dynamic program.
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// GCSScore is the paper's greatest-common-subsequence score for matching
+// a question word against a candidate property name: LCS(word, name)
+// divided by len(word). A score of 1.0 means every character of the word
+// appears, in order, inside the candidate.
+func GCSScore(word, candidate string) float64 {
+	w := []rune(strings.ToLower(word))
+	if len(w) == 0 {
+		return 0
+	}
+	return float64(LCSLength(word, candidate)) / float64(len(w))
+}
+
+// WordBoundaryContains reports whether word occurs in candidate aligned to
+// camelCase/word boundaries. This is the containment guard from §2.2.1:
+// "river" scores 1.0 against "taxiDriver" by raw subsequence, but it does
+// not start at a word boundary, so the guard rejects it, while "writer"
+// against "writer" or "place" against "birthPlace" pass.
+func WordBoundaryContains(word, candidate string) bool {
+	for _, part := range SplitIdentifier(candidate) {
+		if strings.EqualFold(part, word) {
+			return true
+		}
+	}
+	return false
+}
+
+// PropertyScore combines the GCS score with the word-boundary guard, as
+// the paper's property matcher does: exact word-boundary containment is a
+// perfect match; otherwise the GCS score applies but is damped unless the
+// candidate's first word shares a prefix with the query word, eliminating
+// the "taxiDriver"/"river" class of miscalculation.
+func PropertyScore(word, propertyName string) float64 {
+	if word == "" || propertyName == "" {
+		return 0
+	}
+	if WordBoundaryContains(word, propertyName) {
+		return 1.0
+	}
+	score := GCSScore(word, propertyName)
+	if score == 0 {
+		return 0
+	}
+	// Require that the match plausibly aligns with some identifier word:
+	// at least one camelCase part of the candidate must share a 3+ letter
+	// prefix (or stem overlap) with the query word.
+	wl := strings.ToLower(word)
+	aligned := false
+	for _, part := range SplitIdentifier(propertyName) {
+		p := strings.ToLower(part)
+		if sharedPrefix(wl, p) >= 3 || sharedPrefix(wl, p) >= len(wl)-1 {
+			aligned = true
+			break
+		}
+	}
+	if !aligned {
+		return score * 0.25 // heavy damping: accidental subsequences lose
+	}
+	return score
+}
+
+func sharedPrefix(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// SplitIdentifier splits a camelCase or snake_case identifier into its
+// lowercase word parts: "birthPlace" -> ["birth", "Place"],
+// "populationTotal" -> ["population", "Total"].
+func SplitIdentifier(s string) []string {
+	var parts []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			parts = append(parts, string(cur))
+			cur = cur[:0]
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == ' ':
+			flush()
+		case unicode.IsUpper(r):
+			// Start a new part on lower->Upper transitions and on
+			// Upper->Upper followed by lower (e.g. "HTTPServer").
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return parts
+}
+
+// Levenshtein returns the edit distance between a and b over runes,
+// case-sensitively.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// NormalizedLevenshtein returns 1 - dist/maxLen in [0,1]; 1.0 for equal
+// strings (including two empty strings).
+func NormalizedLevenshtein(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of a and b in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchedB[j] && ra[i] == rb[j] {
+				matchedA[i], matchedB[j] = true, true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions.
+	trans := 0
+	k := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[k] {
+			k++
+		}
+		if ra[i] != rb[k] {
+			trans++
+		}
+		k++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard 0.1
+// prefix scale and prefix cap of 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// TokenOverlap returns |tokens(a) ∩ tokens(b)| / |tokens(a) ∪ tokens(b)|
+// over lowercased whitespace tokens (Jaccard).
+func TokenOverlap(a, b string) float64 {
+	ta := strings.Fields(strings.ToLower(a))
+	tb := strings.Fields(strings.ToLower(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	set := map[string]int{}
+	for _, t := range ta {
+		set[t] |= 1
+	}
+	for _, t := range tb {
+		set[t] |= 2
+	}
+	inter, union := 0, 0
+	for _, v := range set {
+		union++
+		if v == 3 {
+			inter++
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

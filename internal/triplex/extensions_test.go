@@ -1,0 +1,84 @@
+package triplex
+
+import "testing"
+
+// Tests for the coverage extensions beyond the paper's worked examples:
+// fronted prepositional wh-questions and possessive copulars.
+
+func TestFrontedPrepositionWh(t *testing.T) {
+	ext := extract(t, "In which city was Albert Einstein born?")
+	if len(ext.Triples) != 2 {
+		t.Fatalf("triples = %v", ext.Triples)
+	}
+	if !ext.Triples[0].IsType || ext.Triples[0].Object.Text != "city" {
+		t.Errorf("type triple = %v", ext.Triples[0])
+	}
+	main := ext.Triples[1]
+	if main.Subject.Text != "Albert Einstein" || main.Predicate.Lemma != "bear" || !main.Object.IsVar() {
+		t.Errorf("main triple = %v", main)
+	}
+	if ext.Expected.Kind != ExpectClass || ext.Expected.ClassText != "city" {
+		t.Errorf("expected = %+v", ext.Expected)
+	}
+}
+
+func TestPossessiveCopular(t *testing.T) {
+	ext := extract(t, "What is Michael Jordan's height?")
+	if len(ext.Triples) != 1 {
+		t.Fatalf("triples = %v", ext.Triples)
+	}
+	tr := ext.Triples[0]
+	if tr.Subject.Text != "Michael Jordan" || tr.Predicate.Text != "height" || !tr.Object.IsVar() {
+		t.Errorf("triple = %v", tr)
+	}
+}
+
+func TestPossessivePopulation(t *testing.T) {
+	ext := extract(t, "What is Italy's population?")
+	tr := ext.Triples[0]
+	if tr.Subject.Text != "Italy" || tr.Predicate.Text != "population" {
+		t.Errorf("triple = %v", tr)
+	}
+}
+
+func TestWhDeterminedCopularSubject(t *testing.T) {
+	ext := extract(t, "Which city is the capital of France?")
+	if len(ext.Triples) != 2 {
+		t.Fatalf("triples = %v", ext.Triples)
+	}
+	if !ext.Triples[0].IsType || ext.Triples[0].Object.Text != "city" {
+		t.Errorf("type triple = %v", ext.Triples[0])
+	}
+	main := ext.Triples[1]
+	if main.Subject.Text != "France" || main.Predicate.Text != "capital" || !main.Object.IsVar() {
+		t.Errorf("main triple = %v", main)
+	}
+	if ext.Expected.Kind != ExpectClass || ext.Expected.ClassText != "city" {
+		t.Errorf("expected = %+v", ext.Expected)
+	}
+}
+
+func TestFrontedWhObject(t *testing.T) {
+	ext := extract(t, "Which university did Albert Einstein attend?")
+	if len(ext.Triples) != 2 {
+		t.Fatalf("triples = %v", ext.Triples)
+	}
+	if !ext.Triples[0].IsType || ext.Triples[0].Object.Text != "university" {
+		t.Errorf("type triple = %v", ext.Triples[0])
+	}
+	main := ext.Triples[1]
+	if main.Subject.Text != "Albert Einstein" || main.Predicate.Lemma != "attend" || !main.Object.IsVar() {
+		t.Errorf("main triple = %v", main)
+	}
+	if ext.Expected.Kind != ExpectClass || ext.Expected.ClassText != "university" {
+		t.Errorf("expected = %+v", ext.Expected)
+	}
+}
+
+func TestTitleCoordination(t *testing.T) {
+	ext := extract(t, "Who wrote War and Peace?")
+	tr := ext.Triples[0]
+	if tr.Object.Text != "War and Peace" {
+		t.Errorf("object = %q, want the coordinated title", tr.Object.Text)
+	}
+}

@@ -1,0 +1,196 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestBasicDocument(t *testing.T) {
+	src := `
+@prefix dbo: <http://dbpedia.org/ontology/> .
+@prefix dbr: <http://dbpedia.org/resource/> .
+# Orhan Pamuk's books
+dbr:Snow a dbo:Book ;
+    dbo:author dbr:Orhan_Pamuk .
+dbr:Orhan_Pamuk a dbo:Writer .
+`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("got %d triples: %v", len(triples), triples)
+	}
+	if triples[0].S != rdf.Res("Snow") || triples[0].P != rdf.Type() || triples[0].O != rdf.Ont("Book") {
+		t.Errorf("triple 0 = %v", triples[0])
+	}
+	if triples[1].P != rdf.Ont("author") || triples[1].O != rdf.Res("Orhan_Pamuk") {
+		t.Errorf("triple 1 = %v", triples[1])
+	}
+}
+
+func TestObjectAndPredicateLists(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b , ex:c ; ex:q ex:d .
+`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+	if triples[1].O.Value != "http://example.org/c" {
+		t.Errorf("comma list: %v", triples[1])
+	}
+	if triples[2].P.Value != "http://example.org/q" {
+		t.Errorf("semicolon list: %v", triples[2])
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:e ex:label "Orhan Pamuk"@en .
+ex:e ex:height 1.98 .
+ex:e ex:pages 512 .
+ex:e ex:rating 1.5e2 .
+ex:e ex:alive false .
+ex:e ex:date "1865-04-15"^^xsd:date .
+ex:e ex:note "multi \"quoted\" \n line" .
+`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rdf.Term{
+		rdf.NewLangLiteral("Orhan Pamuk", "en"),
+		rdf.NewTypedLiteral("1.98", rdf.XSDDecimal),
+		rdf.NewTypedLiteral("512", rdf.XSDInteger),
+		rdf.NewTypedLiteral("1.5e2", rdf.XSDDouble),
+		rdf.NewTypedLiteral("false", rdf.XSDBoolean),
+		rdf.NewDate("1865-04-15"),
+		rdf.NewLiteral("multi \"quoted\" \n line"),
+	}
+	if len(triples) != len(want) {
+		t.Fatalf("got %d triples, want %d", len(triples), len(want))
+	}
+	for i, w := range want {
+		if triples[i].O != w {
+			t.Errorf("object %d = %v, want %v", i, triples[i].O, w)
+		}
+	}
+}
+
+func TestGlobalPrefixFallback(t *testing.T) {
+	// Without local @prefix declarations, the registered global
+	// namespaces (dbont:, res:, rdf:) still resolve.
+	src := `res:Snow_(novel) rdf:type dbont:Book .`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triples[0].S != rdf.Res("Snow_(novel)") || triples[0].O != rdf.Ont("Book") {
+		t.Errorf("triple = %v", triples[0])
+	}
+}
+
+func TestBlankNodes(t *testing.T) {
+	src := `@prefix ex: <http://example.org/> .
+_:b0 ex:p _:b1 .`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !triples[0].S.IsBlank() || !triples[0].O.IsBlank() {
+		t.Errorf("triple = %v", triples[0])
+	}
+}
+
+func TestFullIRIs(t *testing.T) {
+	src := `<http://e/s> <http://e/p> <http://e/o> .`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triples[0].S.Value != "http://e/s" {
+		t.Errorf("triple = %v", triples[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		`@prefix ex: <http://e/>`,                   // missing dot
+		`@base <http://e/> .`,                       // unsupported
+		`ex:a ex:p ex:b .`,                          // unknown prefix
+		`<http://e/s> <http://e/p> .`,               // missing object
+		`<http://e/s> "lit" <http://e/o> .`,         // literal predicate
+		`"lit" <http://e/p> <http://e/o> .`,         // literal subject
+		`<http://e/s> <http://e/p> "unterminated .`, // unterminated string
+		`<http://e/s> <http://e/p> "bad \q" .`,      // bad escape
+		`<http://e/s> <http://e/p> <http://e/o>`,    // missing final dot
+		`<http://e/s> <http://e/p> "x"@ .`,          // empty lang
+		`<http://e/s <http://e/p> <http://e/o> .`,   // IRI containing space... actually unterminated
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) should fail", src)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("error type for %q = %T", src, err)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	src := "@prefix ex: <http://e/> .\n\nex:a ex:p \"unterminated .\n"
+	_, err := ParseString(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# leading comment
+@prefix ex: <http://e/> . # trailing comment
+ex:a # mid-statement comment
+  ex:p ex:b .
+`
+	triples, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 1 {
+		t.Errorf("got %d triples", len(triples))
+	}
+}
+
+func TestRoundTripAgainstNTriples(t *testing.T) {
+	// A Turtle doc and its N-Triples equivalent load the same graph.
+	ttl := `
+@prefix dbo: <http://dbpedia.org/ontology/> .
+@prefix dbr: <http://dbpedia.org/resource/> .
+dbr:Ankara a dbo:City ; dbo:populationTotal 4890893 .
+`
+	triples, err := ParseString(ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 2 {
+		t.Fatalf("got %d", len(triples))
+	}
+	if triples[1].O != rdf.NewTypedLiteral("4890893", rdf.XSDInteger) {
+		t.Errorf("population = %v", triples[1].O)
+	}
+}

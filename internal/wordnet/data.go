@@ -1,0 +1,249 @@
+package wordnet
+
+// embeddedSynsets builds the mini-WordNet covering the DBpedia-ontology
+// vocabulary and the QALD question vocabulary. The shape follows real
+// WordNet 3.0: the same hypernym chains (entity > physical entity >
+// object > whole > living thing > organism > person > ...), so the Lin
+// and Wu&Palmer values land in the same ranges the paper's thresholds
+// (0.75 / 0.85) were tuned against. Frequencies are synthetic corpus
+// counts for information content; leaves default to 1.
+func embeddedSynsets() []*Synset {
+	n := func(id string, hyper string, freq float64, words ...string) *Synset {
+		var hs []string
+		if hyper != "" {
+			hs = []string{hyper}
+		}
+		return &Synset{ID: id, POS: Noun, Words: words, Hypernyms: hs, Freq: freq}
+	}
+	v := func(id string, hyper string, words ...string) *Synset {
+		var hs []string
+		if hyper != "" {
+			hs = []string{hyper}
+		}
+		return &Synset{ID: id, POS: Verb, Words: words, Hypernyms: hs, Freq: 1}
+	}
+	adj := func(id, attribute string, words ...string) *Synset {
+		return &Synset{ID: id, POS: Adjective, Words: words, Attribute: attribute, Freq: 1}
+	}
+
+	return []*Synset{
+		// ---- Noun taxonomy ----
+		n("n.entity", "", 5, "entity"),
+		n("n.physical_entity", "n.entity", 4, "physical entity"),
+		n("n.abstraction", "n.entity", 4, "abstraction", "abstract entity"),
+		n("n.object", "n.physical_entity", 4, "object", "physical object"),
+		n("n.whole", "n.object", 3, "whole", "unit"),
+		n("n.living_thing", "n.whole", 3, "living thing", "animate thing"),
+		n("n.organism", "n.living_thing", 3, "organism", "being"),
+
+		// person branch
+		n("n.person", "n.organism", 12, "person", "individual", "human", "somebody"),
+		n("n.adult", "n.person", 2, "adult", "grownup"),
+		n("n.communicator", "n.person", 2, "communicator"),
+		n("n.writer", "n.communicator", 3, "writer", "author"),
+		n("n.novelist", "n.writer", 1, "novelist"),
+		n("n.poet", "n.writer", 1, "poet"),
+		n("n.journalist", "n.writer", 1, "journalist"),
+		n("n.creator", "n.person", 2, "creator", "maker"),
+		n("n.artist", "n.creator", 2, "artist"),
+		n("n.painter", "n.artist", 1, "painter"),
+		n("n.musician", "n.artist", 2, "musician"),
+		n("n.composer", "n.musician", 1, "composer"),
+		n("n.entertainer", "n.person", 2, "entertainer"),
+		n("n.performer", "n.entertainer", 2, "performer", "performing artist"),
+		n("n.actor", "n.performer", 2, "actor", "histrion", "thespian"),
+		n("n.actress", "n.actor", 1, "actress"),
+		n("n.singer", "n.performer", 1, "singer", "vocalist"),
+		n("n.contestant", "n.person", 2, "contestant"),
+		n("n.athlete", "n.contestant", 2, "athlete", "jock"),
+		n("n.basketball_player", "n.athlete", 1, "basketball player"),
+		n("n.footballer", "n.athlete", 1, "footballer", "football player"),
+		n("n.leader", "n.person", 3, "leader"),
+		n("n.politician", "n.leader", 2, "politician", "politico"),
+		n("n.head_of_state", "n.leader", 2, "head of state", "chief of state"),
+		n("n.president", "n.head_of_state", 1, "president"),
+		n("n.monarch", "n.head_of_state", 1, "monarch", "sovereign", "king"),
+		n("n.queen", "n.monarch", 1, "queen"),
+		n("n.mayor", "n.leader", 1, "mayor", "city manager"),
+		n("n.chancellor", "n.leader", 1, "chancellor", "premier", "prime minister"),
+		n("n.governor", "n.leader", 1, "governor"),
+		n("n.director", "n.leader", 1, "director", "manager"),
+		n("n.film_director", "n.director", 1, "film director", "filmmaker"),
+		n("n.scientist", "n.person", 2, "scientist"),
+		n("n.philosopher", "n.scientist", 1, "philosopher"),
+		n("n.relative", "n.person", 2, "relative", "relation"),
+		n("n.spouse", "n.relative", 1, "spouse", "partner", "married person", "mate"),
+		n("n.wife", "n.spouse", 1, "wife"),
+		n("n.husband", "n.spouse", 1, "husband"),
+		n("n.parent", "n.relative", 1, "parent"),
+		n("n.father", "n.parent", 1, "father", "male parent"),
+		n("n.mother", "n.parent", 1, "mother", "female parent"),
+		n("n.offspring", "n.relative", 1, "child", "offspring", "kid"),
+		n("n.son", "n.offspring", 1, "son", "boy"),
+		n("n.daughter", "n.offspring", 1, "daughter", "girl"),
+		n("n.worker", "n.person", 2, "worker"),
+		n("n.employee", "n.worker", 1, "employee"),
+		n("n.inhabitant", "n.person", 1, "inhabitant", "dweller", "denizen"),
+		n("n.citizen", "n.person", 1, "citizen"),
+		n("n.member", "n.person", 1, "member"),
+		n("n.founder", "n.creator", 1, "founder", "establisher", "father of"),
+		n("n.owner", "n.person", 1, "owner", "proprietor"),
+		n("n.developer", "n.creator", 1, "developer"),
+		n("n.producer", "n.creator", 1, "producer"),
+		n("n.publisher", "n.creator", 1, "publisher"),
+
+		// location branch
+		n("n.location", "n.object", 8, "location"),
+		n("n.region", "n.location", 4, "region"),
+		n("n.district", "n.region", 4, "district", "territory", "administrative district"),
+		n("n.country", "n.district", 2, "country", "state", "nation", "land"),
+		n("n.city", "n.district", 2, "city", "metropolis", "urban center"),
+		n("n.capital", "n.city", 1, "capital"),
+		n("n.town", "n.district", 1, "town"),
+		n("n.place", "n.location", 4, "place", "spot", "topographic point"),
+		n("n.birthplace", "n.place", 1, "birthplace", "place of birth"),
+		n("n.residence", "n.place", 1, "residence", "abode", "home"),
+		n("n.hometown", "n.place", 1, "hometown"),
+		n("n.headquarters", "n.place", 1, "headquarters", "central office", "home office"),
+		n("n.continent", "n.region", 1, "continent"),
+		n("n.island", "n.region", 1, "island"),
+		n("n.geological_formation", "n.object", 2, "geological formation", "formation"),
+		n("n.natural_elevation", "n.geological_formation", 1, "natural elevation"),
+		n("n.mountain", "n.natural_elevation", 1, "mountain", "mount", "peak"),
+		n("n.body_of_water", "n.object", 2, "body of water", "water"),
+		n("n.stream", "n.body_of_water", 1, "stream", "watercourse"),
+		n("n.river", "n.stream", 1, "river"),
+		n("n.lake", "n.body_of_water", 1, "lake"),
+		n("n.structure", "n.object", 2, "structure", "construction"),
+		n("n.building", "n.structure", 1, "building", "edifice"),
+		n("n.bridge", "n.structure", 1, "bridge", "span"),
+
+		// artifact / work branch
+		n("n.artifact", "n.object", 4, "artifact", "artefact"),
+		n("n.creation", "n.artifact", 3, "creation"),
+		n("n.product", "n.creation", 3, "product", "production"),
+		n("n.work", "n.product", 3, "work", "piece of work"),
+		n("n.publication", "n.work", 2, "publication"),
+		n("n.book", "n.publication", 2, "book"),
+		n("n.novel", "n.book", 1, "novel"),
+		n("n.movie", "n.work", 2, "movie", "film", "picture", "motion picture"),
+		n("n.album", "n.work", 1, "album", "record album"),
+		n("n.musical_composition", "n.work", 1, "musical composition", "composition"),
+		n("n.song", "n.musical_composition", 1, "song", "vocal"),
+		n("n.anthem", "n.song", 1, "anthem", "national anthem", "hymn"),
+		n("n.software", "n.product", 1, "software", "computer software", "program"),
+		n("n.game", "n.work", 1, "game"),
+		n("n.video_game", "n.game", 1, "video game", "computer game", "videogame"),
+
+		// attribute branch
+		n("n.attribute", "n.abstraction", 4, "attribute"),
+		n("n.property", "n.attribute", 3, "property", "dimension attribute"),
+		n("n.dimension", "n.property", 2, "dimension"),
+		n("n.height", "n.dimension", 1, "height", "tallness", "stature"),
+		n("n.elevation", "n.height", 1, "elevation", "altitude"),
+		n("n.length", "n.dimension", 1, "length"),
+		n("n.width", "n.dimension", 1, "width", "breadth"),
+		n("n.depth", "n.dimension", 1, "depth", "deepness"),
+		n("n.size", "n.property", 1, "size"),
+		n("n.area", "n.size", 1, "area", "expanse", "surface area"),
+		n("n.weight", "n.property", 1, "weight"),
+		n("n.age", "n.property", 1, "age"),
+		n("n.wealth", "n.property", 1, "wealth", "riches"),
+
+		// group branch
+		n("n.group", "n.abstraction", 4, "group", "grouping"),
+		n("n.social_group", "n.group", 3, "social group"),
+		n("n.organization", "n.social_group", 3, "organization", "organisation"),
+		n("n.institution", "n.organization", 2, "institution", "establishment"),
+		n("n.company", "n.institution", 1, "company", "firm", "corporation", "business"),
+		n("n.university", "n.institution", 1, "university", "college"),
+		n("n.school", "n.institution", 1, "school"),
+		n("n.team", "n.organization", 1, "team", "squad"),
+		n("n.club", "n.organization", 1, "club", "society"),
+		n("n.band", "n.organization", 1, "band", "ensemble"),
+		n("n.political_party", "n.organization", 1, "party", "political party"),
+		n("n.league", "n.organization", 1, "league", "conference"),
+		n("n.people", "n.group", 2, "people"),
+		n("n.population", "n.people", 1, "population", "inhabitants"),
+
+		// measure / quantity / time
+		n("n.measure", "n.abstraction", 3, "measure", "quantity", "amount"),
+		n("n.number", "n.measure", 1, "number", "figure", "count"),
+		n("n.time_period", "n.measure", 2, "time period", "period"),
+		n("n.date", "n.time_period", 1, "date", "day of the month"),
+		n("n.birthday", "n.date", 1, "birthday", "birthdate", "date of birth"),
+		n("n.year", "n.time_period", 1, "year"),
+		n("n.duration", "n.time_period", 1, "duration", "continuance", "length", "runtime", "running time"),
+		n("n.communication", "n.abstraction", 3, "communication"),
+		n("n.language", "n.communication", 1, "language", "linguistic communication", "tongue"),
+		n("n.name", "n.communication", 1, "name"),
+		n("n.possession", "n.abstraction", 3, "possession"),
+		n("n.currency", "n.possession", 1, "currency", "money"),
+		n("n.award", "n.abstraction", 1, "award", "prize", "honor"),
+		n("n.budget", "n.possession", 1, "budget"),
+		n("n.revenue", "n.possession", 1, "revenue", "gross", "receipts"),
+		n("n.genre", "n.communication", 1, "genre", "music genre", "category"),
+
+		// ---- Verb taxonomy ----
+		v("v.act", "", "act", "move"),
+		v("v.make", "v.act", "make", "create"),
+		v("v.create_verbally", "v.make", "create verbally"),
+		v("v.write", "v.create_verbally", "write", "compose", "pen", "indite"),
+		v("v.publish", "v.create_verbally", "publish", "bring out", "issue", "release"),
+		v("v.create_art", "v.make", "create art"),
+		v("v.paint", "v.create_art", "paint"),
+		v("v.direct_film", "v.create_art", "direct", "film"),
+		v("v.produce", "v.make", "produce", "make"),
+		v("v.develop", "v.make", "develop", "build", "construct"),
+		v("v.found", "v.make", "found", "establish", "set up", "launch"),
+		v("v.invent", "v.make", "invent", "contrive", "devise"),
+		v("v.discover", "v.act", "discover", "find"),
+		v("v.change", "", "change"),
+		v("v.change_state", "v.change", "change state", "turn"),
+		v("v.die", "v.change_state", "die", "decease", "perish", "pass away", "expire"),
+		v("v.bear", "v.produce", "bear", "give birth", "deliver", "birth"),
+		v("v.be", "", "be", "exist"),
+		v("v.live", "v.be", "live", "dwell", "reside", "inhabit"),
+		v("v.locate", "v.be", "locate", "situate", "lie", "sit"),
+		v("v.connect", "v.act", "connect", "join", "unite"),
+		v("v.marry", "v.connect", "marry", "get married", "wed", "espouse"),
+		v("v.have", "", "have", "possess"),
+		v("v.own", "v.have", "own", "hold"),
+		v("v.control", "v.act", "control", "command"),
+		v("v.lead", "v.control", "lead", "head", "govern", "rule"),
+		v("v.compete", "v.act", "compete", "contend"),
+		v("v.play", "v.compete", "play"),
+		v("v.win", "v.compete", "win"),
+		v("v.perform", "v.act", "perform"),
+		v("v.star", "v.perform", "star", "feature", "appear"),
+		v("v.sing", "v.perform", "sing"),
+		v("v.speak", "v.act", "speak", "talk"),
+		v("v.cross", "v.act", "cross", "traverse", "span"),
+		v("v.flow", "v.act", "flow", "run"),
+		v("v.border", "v.be", "border", "adjoin", "neighbor"),
+		v("v.work", "v.act", "work", "serve"),
+		v("v.study", "v.act", "study", "attend"),
+		v("v.measure", "v.be", "measure", "weigh"),
+
+		// ---- Adjectives with attribute links (§2.2.2, JAWS list) ----
+		adj("a.tall", "n.height", "tall"),
+		adj("a.high", "n.elevation", "high"),
+		adj("a.short", "n.height", "short"),
+		adj("a.deep", "n.depth", "deep"),
+		adj("a.long", "n.length", "long"),
+		adj("a.wide", "n.width", "wide", "broad"),
+		adj("a.heavy", "n.weight", "heavy"),
+		adj("a.big", "n.size", "big", "large"),
+		adj("a.small", "n.size", "small", "little"),
+		adj("a.old", "n.age", "old"),
+		adj("a.young", "n.age", "young"),
+		adj("a.populous", "n.population", "populous"),
+		adj("a.rich", "n.wealth", "rich", "wealthy"),
+		// "alive" deliberately has no attribute link: the paper's §5
+		// discusses that neither the relational patterns nor the DBpedia
+		// property list contains "alive", so "Is Frank Herbert still
+		// alive?" cannot be mapped — we reproduce that gap.
+		adj("a.alive", "", "alive", "living"),
+		adj("a.dead", "", "dead", "deceased"),
+	}
+}

@@ -1,0 +1,40 @@
+package wordnet
+
+import "testing"
+
+func TestNominalizations(t *testing.T) {
+	cases := map[string]string{
+		"die":   "death",
+		"bear":  "birth",
+		"found": "founding",
+		"marry": "marriage",
+		"weigh": "weight",
+		"grow":  "growth",
+	}
+	for verb, want := range cases {
+		got, ok := NominalizationOf(verb)
+		if !ok || got != want {
+			t.Errorf("NominalizationOf(%s) = %q, %v; want %q", verb, got, ok, want)
+		}
+	}
+	// Case-insensitive.
+	if got, ok := NominalizationOf("DIE"); !ok || got != "death" {
+		t.Errorf("NominalizationOf(DIE) = %q, %v", got, ok)
+	}
+	if _, ok := NominalizationOf("zzzz"); ok {
+		t.Error("unknown verb should have no nominalisation")
+	}
+}
+
+func TestNominalizationsReachDataProperties(t *testing.T) {
+	// Every nominalisation that names a DBpedia data property must be
+	// derivable: die→death (deathDate), found→founding (foundingDate),
+	// weigh→weight (weight). This is the §2.2.2 bridge for "When did X
+	// die?"-style questions.
+	needed := []string{"die", "found", "weigh"}
+	for _, v := range needed {
+		if _, ok := NominalizationOf(v); !ok {
+			t.Errorf("missing nominalisation for %q", v)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package wordnet provides the lexical-semantic substrate of §2.2: a
+// compact WordNet-style database (synsets, hypernym taxonomy,
+// information content) with the Lin and Wu & Palmer similarity metrics
+// the paper computes through WordNet::Similarity [14], plus the
+// adjective→attribute table the paper builds with the JAWS API (§2.2.2,
+// "tall" → "height").
+//
+// The database is embedded (data.go) and covers the DBpedia-ontology
+// vocabulary plus the QALD question vocabulary. That is the coverage the
+// paper actually exercises: its §2.2.1 uses WordNet only to decide which
+// property-name pairs are synonymous (Lin ≥ 0.75, Wu&Palmer ≥ 0.85) and
+// its §2.2.2 maps adjectives to data-property nouns.
+package wordnet
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// POS tags for synsets.
+const (
+	Noun      = "n"
+	Verb      = "v"
+	Adjective = "a"
+)
+
+// Synset is one concept with its member words.
+type Synset struct {
+	ID    string
+	POS   string
+	Words []string
+	Gloss string
+	// Hypernyms lists parent synset IDs (the taxonomy is a DAG).
+	Hypernyms []string
+	// Attribute links an adjective synset to the noun attribute it
+	// describes (tall -> height), as WordNet's attribute pointer does.
+	Attribute string
+	// Freq is the synthetic corpus frequency used for information
+	// content; leaves default to 1.
+	Freq float64
+}
+
+// DB is an immutable WordNet-style database.
+type DB struct {
+	synsets map[string]*Synset
+	byWord  map[string][]string // "pos\x00word" -> synset IDs
+	depth   map[string]int      // min depth from root (root = 1)
+	cumFreq map[string]float64  // freq including all descendants
+	total   float64             // total cumulative frequency at roots
+}
+
+var (
+	defaultOnce sync.Once
+	defaultDB   *DB
+)
+
+// Default returns the embedded database, building it on first use.
+func Default() *DB {
+	defaultOnce.Do(func() {
+		defaultDB = Build(embeddedSynsets())
+	})
+	return defaultDB
+}
+
+// Build constructs a DB from synsets, computing depths and information
+// content. Unknown hypernym references are dropped.
+func Build(synsets []*Synset) *DB {
+	db := &DB{
+		synsets: make(map[string]*Synset, len(synsets)),
+		byWord:  make(map[string][]string),
+		depth:   make(map[string]int),
+		cumFreq: make(map[string]float64),
+	}
+	for _, s := range synsets {
+		db.synsets[s.ID] = s
+		if s.Freq == 0 {
+			s.Freq = 1
+		}
+	}
+	// Prune dangling hypernyms.
+	for _, s := range db.synsets {
+		kept := s.Hypernyms[:0]
+		for _, h := range s.Hypernyms {
+			if _, ok := db.synsets[h]; ok {
+				kept = append(kept, h)
+			}
+		}
+		s.Hypernyms = kept
+	}
+	// Word index.
+	for _, s := range db.synsets {
+		for _, w := range s.Words {
+			key := s.POS + "\x00" + strings.ToLower(w)
+			db.byWord[key] = append(db.byWord[key], s.ID)
+		}
+	}
+	for _, ids := range db.byWord {
+		sort.Strings(ids)
+	}
+	// Depths (roots have depth 1), via memoised DFS.
+	var depthOf func(id string, seen map[string]bool) int
+	depthOf = func(id string, seen map[string]bool) int {
+		if d, ok := db.depth[id]; ok {
+			return d
+		}
+		if seen[id] {
+			return 1 // cycle guard
+		}
+		seen[id] = true
+		s := db.synsets[id]
+		if len(s.Hypernyms) == 0 {
+			db.depth[id] = 1
+			return 1
+		}
+		best := math.MaxInt32
+		for _, h := range s.Hypernyms {
+			if d := depthOf(h, seen); d+1 < best {
+				best = d + 1
+			}
+		}
+		db.depth[id] = best
+		return best
+	}
+	for id := range db.synsets {
+		depthOf(id, map[string]bool{})
+	}
+	// Cumulative frequency: freq of synset plus all descendants.
+	children := map[string][]string{}
+	for id, s := range db.synsets {
+		for _, h := range s.Hypernyms {
+			children[h] = append(children[h], id)
+		}
+	}
+	var cum func(id string, seen map[string]bool) float64
+	cum = func(id string, seen map[string]bool) float64 {
+		if f, ok := db.cumFreq[id]; ok {
+			return f
+		}
+		if seen[id] {
+			return 0
+		}
+		seen[id] = true
+		f := db.synsets[id].Freq
+		for _, c := range children[id] {
+			f += cum(c, seen)
+		}
+		db.cumFreq[id] = f
+		return f
+	}
+	for id, s := range db.synsets {
+		if len(s.Hypernyms) == 0 {
+			db.total += cum(id, map[string]bool{})
+		}
+	}
+	for id := range db.synsets {
+		cum(id, map[string]bool{})
+	}
+	if db.total == 0 {
+		db.total = 1
+	}
+	return db
+}
+
+// Synset returns a synset by ID.
+func (db *DB) Synset(id string) (*Synset, bool) {
+	s, ok := db.synsets[id]
+	return s, ok
+}
+
+// Synsets returns the synsets containing word with the given POS.
+func (db *DB) Synsets(word, pos string) []*Synset {
+	ids := db.byWord[pos+"\x00"+strings.ToLower(word)]
+	out := make([]*Synset, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, db.synsets[id])
+	}
+	return out
+}
+
+// Known reports whether the word is in the database for the POS.
+func (db *DB) Known(word, pos string) bool {
+	return len(db.byWord[pos+"\x00"+strings.ToLower(word)]) > 0
+}
+
+// Synonyms returns all words sharing a synset with word (excluding the
+// word itself), sorted.
+func (db *DB) Synonyms(word, pos string) []string {
+	seen := map[string]bool{strings.ToLower(word): true}
+	var out []string
+	for _, s := range db.Synsets(word, pos) {
+		for _, w := range s.Words {
+			lw := strings.ToLower(w)
+			if !seen[lw] {
+				seen[lw] = true
+				out = append(out, lw)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ancestors returns all ancestor IDs of id including itself.
+func (db *DB) ancestors(id string) map[string]bool {
+	out := map[string]bool{}
+	var walk func(string)
+	walk = func(cur string) {
+		if out[cur] {
+			return
+		}
+		out[cur] = true
+		for _, h := range db.synsets[cur].Hypernyms {
+			walk(h)
+		}
+	}
+	walk(id)
+	return out
+}
+
+// lcs returns the lowest common subsumer of two synsets (deepest shared
+// ancestor) and whether one exists.
+func (db *DB) lcs(a, b string) (string, bool) {
+	ancA := db.ancestors(a)
+	best, bestDepth := "", -1
+	for anc := range db.ancestors(b) {
+		if !ancA[anc] {
+			continue
+		}
+		if d := db.depth[anc]; d > bestDepth {
+			best, bestDepth = anc, d
+		}
+	}
+	return best, bestDepth >= 0
+}
+
+// WuPalmerSynsets computes Wu & Palmer similarity between two synsets:
+// 2*depth(lcs) / (depth(a) + depth(b)).
+func (db *DB) WuPalmerSynsets(a, b string) float64 {
+	if _, ok := db.synsets[a]; !ok {
+		return 0
+	}
+	if _, ok := db.synsets[b]; !ok {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	l, ok := db.lcs(a, b)
+	if !ok {
+		return 0
+	}
+	da, dbb := float64(db.depth[a]), float64(db.depth[b])
+	return clamp01(2 * float64(db.depth[l]) / (da + dbb))
+}
+
+// clamp01 bounds v to [0,1]; depths/ICs can exceed member values only in
+// degenerate (cyclic) inputs, which Build tolerates rather than rejects.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ic returns the information content of a synset: -log p(synset).
+func (db *DB) ic(id string) float64 {
+	f := db.cumFreq[id]
+	if f <= 0 {
+		f = 1
+	}
+	p := f / db.total
+	if p >= 1 {
+		return 0
+	}
+	return -math.Log(p)
+}
+
+// LinSynsets computes Lin similarity between two synsets:
+// 2*IC(lcs) / (IC(a) + IC(b)).
+func (db *DB) LinSynsets(a, b string) float64 {
+	if _, ok := db.synsets[a]; !ok {
+		return 0
+	}
+	if _, ok := db.synsets[b]; !ok {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	l, ok := db.lcs(a, b)
+	if !ok {
+		return 0
+	}
+	denom := db.ic(a) + db.ic(b)
+	if denom == 0 {
+		return 1 // both at root: identical generality
+	}
+	return clamp01(2 * db.ic(l) / denom)
+}
+
+// WuPalmer returns the maximum Wu & Palmer similarity over all synset
+// pairs of the two words (the standard word-level lifting).
+func (db *DB) WuPalmer(w1, w2, pos string) float64 {
+	best := 0.0
+	for _, s1 := range db.Synsets(w1, pos) {
+		for _, s2 := range db.Synsets(w2, pos) {
+			if v := db.WuPalmerSynsets(s1.ID, s2.ID); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// Lin returns the maximum Lin similarity over all synset pairs.
+func (db *DB) Lin(w1, w2, pos string) float64 {
+	best := 0.0
+	for _, s1 := range db.Synsets(w1, pos) {
+		for _, s2 := range db.Synsets(w2, pos) {
+			if v := db.LinSynsets(s1.ID, s2.ID); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// AdjectiveAttribute returns the attribute noun for an adjective
+// ("tall" → "height"), following the adjective synset's attribute link.
+func (db *DB) AdjectiveAttribute(adj string) (string, bool) {
+	for _, s := range db.Synsets(adj, Adjective) {
+		if s.Attribute == "" {
+			continue
+		}
+		if attr, ok := db.synsets[s.Attribute]; ok && len(attr.Words) > 0 {
+			return attr.Words[0], true
+		}
+	}
+	return "", false
+}
+
+// derivations maps verb lemmas to their derivationally related nouns
+// (WordNet's derivational pointers), used when matching verbs against
+// data-property names ("die" → "death" → dbont:deathDate).
+var derivations = map[string]string{
+	"die":      "death",
+	"bear":     "birth",
+	"found":    "founding",
+	"marry":    "marriage",
+	"release":  "release",
+	"publish":  "publication",
+	"populate": "population",
+	"elevate":  "elevation",
+	"weigh":    "weight",
+	"live":     "life",
+	"grow":     "growth",
+	"begin":    "beginning",
+	"start":    "start",
+	"end":      "end",
+	"run":      "runtime",
+	"employ":   "employee",
+	"study":    "study",
+}
+
+// NominalizationOf returns the derivationally related noun of a verb
+// lemma, if known.
+func NominalizationOf(verb string) (string, bool) {
+	n, ok := derivations[strings.ToLower(verb)]
+	return n, ok
+}
+
+// SimilarPair reports whether two words clear the paper's §2.2.1
+// thresholds: Lin ≥ 0.75 *or* Wu&Palmer ≥ 0.85 (the paper treats a pair
+// as synonymous when the metrics are higher than the assigned
+// thresholds).
+func (db *DB) SimilarPair(w1, w2, pos string) bool {
+	if strings.EqualFold(w1, w2) {
+		return true
+	}
+	return db.Lin(w1, w2, pos) >= 0.75 || db.WuPalmer(w1, w2, pos) >= 0.85
+}

@@ -355,6 +355,126 @@ func BenchmarkKBBuild(b *testing.B) {
 	}
 }
 
+// --- PR 1 tentpole benchmarks: ID-space execution vs. term space ---
+//
+// The benchmarks below are the perf contract of the ID-space execution
+// engine (see BENCH_PR1.json for the recorded trajectory): single-pattern
+// scan, 3-pattern BGP join, DISTINCT+ORDER BY, and full end-to-end
+// answering. Each query benchmark has a *TermSpace twin running the
+// retained map-based reference evaluator (sparql.ExecuteTermSpace) so
+// the speedup stays measurable in every future PR.
+
+// BenchmarkStoreScanTerms scans every triple with a bound predicate,
+// materialising full rdf.Term triples (the term-space path).
+func BenchmarkStoreScanTerms(b *testing.B) {
+	k := kb.Default()
+	pat := rdf.Triple{P: rdf.Ont("birthPlace")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		k.Store.ForEachMatch(pat, func(rdf.Triple) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+// BenchmarkStoreScanIDs is the same scan over the ID-space surface: no
+// term materialisation at all.
+func BenchmarkStoreScanIDs(b *testing.B) {
+	k := kb.Default()
+	pid, ok := k.Store.Lookup(rdf.Ont("birthPlace"))
+	if !ok {
+		b.Fatal("birthPlace not in dictionary")
+	}
+	pat := [3]store.ID{0, pid, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		k.Store.ForEachMatchIDs(pat, func(_, _, _ store.ID) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+func benchmarkQuery(b *testing.B, src string, exec func(*store.Store, *sparql.Query) (*sparql.Result, error)) {
+	k := kb.Default()
+	q := sparql.MustParse(src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec(k.Store, q)
+		if err != nil || len(res.Solutions) == 0 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+const (
+	benchJoin3 = `SELECT ?p ?c ?n WHERE {
+		?p rdf:type dbont:Person .
+		?p dbont:birthPlace ?c .
+		?c dbont:populationTotal ?n . }`
+	benchJoin3Limit = `SELECT ?p ?c ?n WHERE {
+		?p rdf:type dbont:Person .
+		?p dbont:birthPlace ?c .
+		?c dbont:populationTotal ?n . } LIMIT 10`
+	benchDistinctOrder = `SELECT DISTINCT ?c WHERE {
+		?p dbont:birthPlace ?c .
+		?c dbont:populationTotal ?n . } ORDER BY DESC(?n)`
+)
+
+// BenchmarkBGPJoin3 runs a 3-pattern basic graph pattern join
+// (person -> birthplace -> population) through the ID-space executor.
+func BenchmarkBGPJoin3(b *testing.B) { benchmarkQuery(b, benchJoin3, sparql.Execute) }
+
+// BenchmarkBGPJoin3TermSpace is the identical join on the term-space
+// reference evaluator.
+func BenchmarkBGPJoin3TermSpace(b *testing.B) {
+	benchmarkQuery(b, benchJoin3, sparql.ExecuteTermSpace)
+}
+
+// BenchmarkBGPJoin3Limit shows late materialization: only the 10 rows
+// surviving LIMIT are converted back to terms.
+func BenchmarkBGPJoin3Limit(b *testing.B) { benchmarkQuery(b, benchJoin3Limit, sparql.Execute) }
+
+// BenchmarkBGPJoin3LimitTermSpace materialises every intermediate
+// binding before applying LIMIT.
+func BenchmarkBGPJoin3LimitTermSpace(b *testing.B) {
+	benchmarkQuery(b, benchJoin3Limit, sparql.ExecuteTermSpace)
+}
+
+// BenchmarkBGPJoinDistinctOrderBy adds DISTINCT and ORDER BY on top of
+// a two-pattern join, exercising projection, dedup and sorting.
+func BenchmarkBGPJoinDistinctOrderBy(b *testing.B) {
+	benchmarkQuery(b, benchDistinctOrder, sparql.Execute)
+}
+
+// BenchmarkBGPJoinDistinctOrderByTermSpace is the term-space twin.
+func BenchmarkBGPJoinDistinctOrderByTermSpace(b *testing.B) {
+	benchmarkQuery(b, benchDistinctOrder, sparql.ExecuteTermSpace)
+}
+
+// BenchmarkAnswerThroughput measures full core.System.Answer throughput
+// over a mixed workload, the end-to-end guard for executor rewrites.
+func BenchmarkAnswerThroughput(b *testing.B) {
+	s := sharedSystem(b)
+	questions := []string{
+		"Which book is written by Orhan Pamuk?",
+		"Who is the mayor of Berlin?",
+		"Where did Abraham Lincoln die?",
+		"How many people live in Istanbul?",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Answer(questions[i%len(questions)])
+	}
+}
+
 // BenchmarkStoreScale measures indexed matching at growing store sizes
 // (the substrate's scaling behaviour under the synthetic long tail).
 func BenchmarkStoreScale(b *testing.B) {

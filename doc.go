@@ -12,6 +12,15 @@
 // miner, the NED component and the knowledge base itself — is
 // implemented in this module using only the Go standard library.
 //
+// SPARQL evaluation — the hot path, since every question fans out into
+// many candidate queries — uses a two-layer execution model: the store
+// dictionary-encodes terms to 32-bit IDs, and the executor compiles each
+// query to a variable->column layout and joins flat ID rows, converting
+// IDs back to terms only when projecting final results (late
+// materialization). See internal/store and internal/sparql for the
+// layer contracts, and BENCH_PR1.json for the measured speedups over
+// the retained term-space reference evaluator.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured numbers, and bench_test.go for the per-table/figure
 // regeneration harness.

@@ -1,3 +1,24 @@
+// SPARQL execution engine.
+//
+// # ID-space execution with late materialization
+//
+// The executor never joins over rdf.Term values. Execute compiles the
+// query once into a var->column layout (compile): every variable in the
+// group gets a column index, every constant term is resolved to its
+// dictionary ID through a single store lookup pass, and each triple
+// pattern becomes a cpat of three (constant ID | column) slots. All
+// joins, UNION, OPTIONAL, FILTER, DISTINCT, ORDER BY and COUNT then run
+// over flat []store.ID rows packed into a rowset arena — one contiguous
+// buffer, no per-solution maps, no term copies. Dictionary IDs are
+// translated back to rdf.Term values only when building the final
+// projected Result (and, transiently, when a FILTER or ORDER BY
+// expression needs term semantics), through the lock-free
+// store.TermsView dictionary view.
+//
+// The public surface (Execute, ExecuteString, Result, Binding) is
+// term-space and unchanged; ID space is an implementation detail of this
+// file.
+
 package sparql
 
 import (
@@ -40,7 +61,7 @@ func Execute(st *store.Store, q *Query) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("sparql: nil query")
 	}
-	ex := &executor{st: st, q: q}
+	ex := compile(st, q)
 	return ex.run()
 }
 
@@ -53,23 +74,380 @@ func ExecuteString(st *store.Store, src string) (*Result, error) {
 	return Execute(st, q)
 }
 
+// cpat is a triple pattern compiled to ID space: per position either a
+// constant dictionary ID (vars[i] < 0) or a row column (ids[i] == 0).
+// unknown marks a pattern with a constant absent from the dictionary —
+// it can never match.
+type cpat struct {
+	ids     [3]store.ID
+	vars    [3]int
+	unknown bool
+}
+
+// executor holds one compiled query: the column layout plus every
+// pattern block pre-resolved to IDs.
 type executor struct {
-	st *store.Store
-	q  *Query
+	st    *store.Store
+	q     *Query
+	terms []rdf.Term // store.TermsView(): terms[id-1] materialises an ID
+
+	varCols  map[string]int
+	varNames []string // column -> variable name
+	ncols    int
+
+	patterns  []cpat
+	unions    [][][]cpat
+	optionals [][]cpat
+}
+
+// term materialises one ID through the cached dictionary view. A
+// concurrent writer may have interned IDs after compile captured the
+// view; any such ID came from a scan that already completed, so a fresh
+// view is guaranteed to cover it.
+func (ex *executor) term(id store.ID) rdf.Term {
+	if int(id) > len(ex.terms) {
+		ex.terms = ex.st.TermsView()
+	}
+	return ex.terms[id-1]
+}
+
+// compile builds the column layout and resolves all constants to IDs.
+func compile(st *store.Store, q *Query) *executor {
+	ex := &executor{st: st, q: q, terms: st.TermsView(), varCols: map[string]int{}}
+	// Column order must match Query.Vars() so SELECT * projects in the
+	// documented order of first appearance.
+	for _, v := range q.Vars() {
+		ex.varCols[v] = len(ex.varNames)
+		ex.varNames = append(ex.varNames, v)
+	}
+	ex.ncols = len(ex.varNames)
+
+	ex.patterns = ex.compilePatterns(q.Patterns)
+	for _, block := range q.Unions {
+		branches := make([][]cpat, len(block))
+		for i, branch := range block {
+			branches[i] = ex.compilePatterns(branch)
+		}
+		ex.unions = append(ex.unions, branches)
+	}
+	for _, opt := range q.Optionals {
+		ex.optionals = append(ex.optionals, ex.compilePatterns(opt))
+	}
+	return ex
+}
+
+func (ex *executor) compilePatterns(pats []rdf.Triple) []cpat {
+	out := make([]cpat, len(pats))
+	for i, p := range pats {
+		out[i] = ex.compilePattern(p)
+	}
+	return out
+}
+
+func (ex *executor) compilePattern(p rdf.Triple) cpat {
+	cp := cpat{vars: [3]int{-1, -1, -1}}
+	for i, t := range [3]rdf.Term{p.S, p.P, p.O} {
+		if t.IsVar() {
+			cp.vars[i] = ex.varCols[t.Value]
+			continue
+		}
+		id, ok := ex.st.Lookup(t)
+		if !ok {
+			cp.unknown = true
+			continue
+		}
+		cp.ids[i] = id
+	}
+	return cp
+}
+
+// rowset is a flat arena of binding rows: n rows of stride IDs each,
+// packed back to back in buf. ID(0) marks an unbound column.
+type rowset struct {
+	buf    []store.ID
+	stride int
+	n      int
+}
+
+func (rs *rowset) row(i int) []store.ID {
+	return rs.buf[i*rs.stride : (i+1)*rs.stride]
+}
+
+// push appends a copy of r (which must have length stride) and returns
+// the appended row for in-place extension.
+func (rs *rowset) push(r []store.ID) []store.ID {
+	rs.buf = append(rs.buf, r...)
+	rs.n++
+	return rs.buf[len(rs.buf)-rs.stride:]
+}
+
+// pop discards the most recently pushed row (used to back out a
+// repeated-variable conflict detected mid-extension).
+func (rs *rowset) pop() {
+	rs.buf = rs.buf[:len(rs.buf)-rs.stride]
+	rs.n--
+}
+
+// compact keeps only the rows for which keep returns true, preserving
+// order. It rewrites buf in place: the write cursor never passes the
+// read cursor, so the aliasing is safe; a test in eval_id_test.go pins
+// this invariant.
+func (rs *rowset) compact(keep func(r []store.ID) bool) {
+	w := 0
+	for i := 0; i < rs.n; i++ {
+		r := rs.row(i)
+		if keep(r) {
+			copy(rs.buf[w*rs.stride:], r)
+			w++
+		}
+	}
+	rs.n = w
+	rs.buf = rs.buf[:w*rs.stride]
+}
+
+// substituted returns the scan pattern for cp under row r: constants
+// keep their IDs, bound variables contribute the row's ID, unbound
+// variables stay wildcards.
+func substituted(cp cpat, r []store.ID) [3]store.ID {
+	pat := cp.ids
+	for i, col := range cp.vars {
+		if col >= 0 && r[col] != 0 {
+			pat[i] = r[col]
+		}
+	}
+	return pat
+}
+
+// extendInto scans the matches of cp under each row of src and appends
+// the extended rows to dst. Repeated variables within a pattern are
+// checked for consistency.
+func (ex *executor) extendInto(dst *rowset, src *rowset, cp cpat) {
+	if cp.unknown {
+		return
+	}
+	for i := 0; i < src.n; i++ {
+		r := src.row(i)
+		pat := substituted(cp, r)
+		ex.st.ForEachMatchIDs(pat, func(s, p, o store.ID) bool {
+			nr := dst.push(r)
+			match := [3]store.ID{s, p, o}
+			for pos, col := range cp.vars {
+				if col < 0 {
+					continue
+				}
+				if nr[col] == 0 {
+					nr[col] = match[pos]
+				} else if nr[col] != match[pos] {
+					dst.pop()
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pickPattern returns the index of the most selective remaining
+// pattern under the representative row's bindings: smallest estimated
+// cardinality, with a heavy penalty for patterns not sharing a variable
+// with the bound set (cartesian products). Both the required-BGP join
+// and the UNION/OPTIONAL block join use this, so they always produce
+// the same plan for the same state.
+func (ex *executor) pickPattern(remaining []cpat, bound []bool, anyBound bool, rep []store.ID) int {
+	bestIdx, bestCard := 0, int(^uint(0)>>1)
+	for i, cp := range remaining {
+		card := 0
+		if !cp.unknown {
+			card = ex.st.EstimateCardinalityIDs(substituted(cp, rep))
+		}
+		if anyBound && !sharesVar(cp, bound) {
+			card *= 1000
+		}
+		if card < bestCard {
+			bestIdx, bestCard = i, card
+		}
+	}
+	return bestIdx
+}
+
+// joinAll joins the pattern block into rows with greedy selectivity
+// ordering (pickPattern) over the first row as representative.
+func (ex *executor) joinAll(rows rowset, pats []cpat) rowset {
+	remaining := append([]cpat(nil), pats...)
+	bound := make([]bool, ex.ncols)
+	anyBound := false
+	if rows.n > 0 {
+		rep := rows.row(0)
+		for c := range rep {
+			if rep[c] != 0 {
+				bound[c] = true
+				anyBound = true
+			}
+		}
+	}
+	for len(remaining) > 0 && rows.n > 0 {
+		bestIdx := ex.pickPattern(remaining, bound, anyBound, rows.row(0))
+		cp := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+
+		next := rowset{stride: rows.stride, buf: make([]store.ID, 0, len(rows.buf))}
+		ex.extendInto(&next, &rows, cp)
+		rows = next
+		for _, col := range cp.vars {
+			if col >= 0 {
+				bound[col] = true
+				anyBound = true
+			}
+		}
+	}
+	return rows
+}
+
+func sharesVar(cp cpat, bound []bool) bool {
+	for _, col := range cp.vars {
+		if col >= 0 && bound[col] {
+			return true
+		}
+	}
+	return false
+}
+
+// filterCols pairs a filter/order expression with the row columns it
+// reads. Variables the expression mentions that have no column are
+// simply absent from cols: they can never be bound, so Eval sees them
+// as unbound and rejects the solution (except BOUND, which reports
+// false).
+type filterCols struct {
+	expr Expr
+	cols []int
+}
+
+func (ex *executor) filterColumns(f Expr) filterCols {
+	fc := filterCols{expr: f}
+	for v := range exprVars(f) {
+		if col, ok := ex.varCols[v]; ok {
+			fc.cols = append(fc.cols, col)
+		}
+	}
+	sort.Ints(fc.cols)
+	return fc
+}
+
+// fillBinding populates the reusable scratch binding with the row's
+// terms for the given columns (late materialization for expression
+// evaluation only).
+func (ex *executor) fillBinding(b Binding, r []store.ID, cols []int) {
+	clear(b)
+	for _, col := range cols {
+		if id := r[col]; id != 0 {
+			b[ex.varNames[col]] = ex.term(id)
+		}
+	}
+}
+
+// applyFilter drops the rows the filter rejects.
+func (ex *executor) applyFilter(rows *rowset, fc filterCols, scratch Binding) {
+	rows.compact(func(r []store.ID) bool {
+		ex.fillBinding(scratch, r, fc.cols)
+		v, ok := fc.expr.Eval(scratch)
+		bv, okb := ebv(v, ok)
+		return okb && bv
+	})
+}
+
+// evalBGP evaluates the required basic graph pattern with FILTERs pushed
+// down as soon as their variables are bound.
+func (ex *executor) evalBGP(pats []cpat, filters []filterCols) rowset {
+	rows := rowset{stride: ex.ncols}
+	rows.push(make([]store.ID, ex.ncols)) // the single empty solution
+	scratch := make(Binding, ex.ncols)
+
+	if len(pats) == 0 {
+		for _, fc := range filters {
+			ex.applyFilter(&rows, fc, scratch)
+		}
+		return rows
+	}
+
+	remaining := append([]cpat(nil), pats...)
+	bound := make([]bool, ex.ncols)
+	applied := make([]bool, len(filters))
+	anyBound := false
+
+	for len(remaining) > 0 {
+		if rows.n == 0 {
+			return rows
+		}
+		bestIdx := ex.pickPattern(remaining, bound, anyBound, rows.row(0))
+		cp := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+
+		next := rowset{stride: ex.ncols, buf: make([]store.ID, 0, len(rows.buf))}
+		ex.extendInto(&next, &rows, cp)
+		rows = next
+		for _, col := range cp.vars {
+			if col >= 0 {
+				bound[col] = true
+				anyBound = true
+			}
+		}
+
+		// Apply any filter whose variables are now all bound.
+		for i, fc := range filters {
+			if applied[i] {
+				continue
+			}
+			ready := true
+			for _, col := range fc.cols {
+				if !bound[col] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			applied[i] = true
+			ex.applyFilter(&rows, fc, scratch)
+		}
+		if rows.n == 0 {
+			return rows
+		}
+	}
+
+	// Filters still pending mention columns never bound by the BGP (or
+	// variables with no column at all): SPARQL errors on unbound
+	// variables reject the solution, except BOUND which handles absence
+	// itself — Eval already implements that, so just apply them now.
+	for i, fc := range filters {
+		if applied[i] {
+			continue
+		}
+		ex.applyFilter(&rows, fc, scratch)
+	}
+	return rows
+}
+
+// extendRow joins a pattern block under a single starting row (UNION
+// branches and OPTIONAL blocks), with per-row selectivity ordering.
+func (ex *executor) extendRow(r []store.ID, pats []cpat) rowset {
+	rows := rowset{stride: ex.ncols}
+	rows.push(r)
+	return ex.joinAll(rows, pats)
 }
 
 func (ex *executor) run() (*Result, error) {
 	q := ex.q
 
-	// Filters whose variables are all introduced by the required BGP
-	// run inside it (pushdown); the rest run after UNION/OPTIONAL.
+	// Filters whose variables are all introduced by the required BGP run
+	// inside it (pushdown); the rest run after UNION/OPTIONAL.
 	requiredVars := map[string]bool{}
 	for _, p := range q.Patterns {
 		for _, v := range p.Vars() {
 			requiredVars[v] = true
 		}
 	}
-	var early, late []Expr
+	var early, late []filterCols
 	for _, f := range q.Filters {
 		deferred := false
 		for v := range exprVars(f) {
@@ -79,73 +457,77 @@ func (ex *executor) run() (*Result, error) {
 			}
 		}
 		if deferred && (len(q.Unions) > 0 || len(q.Optionals) > 0) {
-			late = append(late, f)
+			late = append(late, ex.filterColumns(f))
 		} else {
-			early = append(early, f)
+			early = append(early, ex.filterColumns(f))
 		}
 	}
 
-	solutions := ex.evalBGP(q.Patterns, early)
+	rows := ex.evalBGP(ex.patterns, early)
 
-	// UNION blocks: each block joins the current solutions with the
-	// union of its branches.
-	for _, block := range q.Unions {
-		var next []Binding
+	// UNION blocks: each block joins the current rows with the union of
+	// its branches.
+	for _, block := range ex.unions {
+		next := rowset{stride: ex.ncols}
 		for _, branch := range block {
-			for _, sol := range solutions {
-				next = append(next, ex.joinPatterns(sol, branch)...)
+			for i := 0; i < rows.n; i++ {
+				ext := ex.extendRow(rows.row(i), branch)
+				next.buf = append(next.buf, ext.buf...)
+				next.n += ext.n
 			}
 		}
-		solutions = next
+		rows = next
 	}
 
 	// OPTIONAL blocks: left join.
-	for _, opt := range q.Optionals {
-		var next []Binding
-		for _, sol := range solutions {
-			extended := ex.joinPatterns(sol, opt)
-			if len(extended) == 0 {
-				next = append(next, sol)
+	for _, opt := range ex.optionals {
+		next := rowset{stride: ex.ncols}
+		for i := 0; i < rows.n; i++ {
+			r := rows.row(i)
+			ext := ex.extendRow(r, opt)
+			if ext.n == 0 {
+				next.push(r)
 			} else {
-				next = append(next, extended...)
+				next.buf = append(next.buf, ext.buf...)
+				next.n += ext.n
 			}
 		}
-		solutions = next
+		rows = next
 	}
 
 	// Deferred filters.
-	for _, f := range late {
-		kept := solutions[:0]
-		for _, sol := range solutions {
-			v, ok := f.Eval(sol)
-			bv, okb := ebv(v, ok)
-			if okb && bv {
-				kept = append(kept, sol)
-			}
+	if len(late) > 0 {
+		scratch := make(Binding, ex.ncols)
+		for _, fc := range late {
+			ex.applyFilter(&rows, fc, scratch)
 		}
-		solutions = kept
 	}
 
 	if q.Form == FormAsk {
-		return &Result{Form: FormAsk, Boolean: len(solutions) > 0}, nil
+		return &Result{Form: FormAsk, Boolean: rows.n > 0}, nil
 	}
 
-	// COUNT aggregate: a single row with the count.
+	// COUNT aggregate: a single row with the count, straight from ID
+	// space (two rows bind the same term iff they hold the same ID).
 	if q.Count != nil {
 		n := 0
-		if q.Count.Var == "" {
-			n = len(solutions)
-		} else if q.Count.Distinct {
-			seen := map[rdf.Term]bool{}
-			for _, sol := range solutions {
-				if t, ok := sol[q.Count.Var]; ok {
-					seen[t] = true
+		col, hasCol := ex.varCols[q.Count.Var]
+		switch {
+		case q.Count.Var == "":
+			n = rows.n
+		case !hasCol:
+			n = 0
+		case q.Count.Distinct:
+			seen := map[store.ID]bool{}
+			for i := 0; i < rows.n; i++ {
+				if id := rows.row(i)[col]; id != 0 {
+					seen[id] = true
 				}
 			}
 			n = len(seen)
-		} else {
-			for _, sol := range solutions {
-				if _, ok := sol[q.Count.Var]; ok {
+		default:
+			for i := 0; i < rows.n; i++ {
+				if rows.row(i)[col] != 0 {
 					n++
 				}
 			}
@@ -155,18 +537,48 @@ func (ex *executor) run() (*Result, error) {
 			Solutions: []Binding{row}}, nil
 	}
 
-	// Projection variable list.
+	// Projection variable list and column mapping (-1: never bound).
 	vars := q.Projection
 	if q.Star {
 		vars = q.Vars()
 	}
+	projCols := make([]int, len(vars))
+	for i, v := range vars {
+		if col, ok := ex.varCols[v]; ok {
+			projCols[i] = col
+		} else {
+			projCols[i] = -1
+		}
+	}
 
-	// ORDER BY.
+	// ORDER BY: precompute the sort key values once per row, then sort a
+	// permutation. Without ORDER BY, sort rows by the projected terms so
+	// results are deterministic.
+	perm := make([]int, rows.n)
+	for i := range perm {
+		perm[i] = i
+	}
 	if len(q.OrderBy) > 0 {
-		sort.SliceStable(solutions, func(i, j int) bool {
-			for _, key := range q.OrderBy {
-				vi, oki := key.Expr.Eval(solutions[i])
-				vj, okj := key.Expr.Eval(solutions[j])
+		nk := len(q.OrderBy)
+		keys := make([]Value, rows.n*nk)
+		keyOK := make([]bool, rows.n*nk)
+		scratch := make(Binding, ex.ncols)
+		orderCols := make([]filterCols, nk)
+		for k, key := range q.OrderBy {
+			orderCols[k] = ex.filterColumns(key.Expr)
+		}
+		for i := 0; i < rows.n; i++ {
+			r := rows.row(i)
+			for k := range q.OrderBy {
+				ex.fillBinding(scratch, r, orderCols[k].cols)
+				keys[i*nk+k], keyOK[i*nk+k] = q.OrderBy[k].Expr.Eval(scratch)
+			}
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			i, j := perm[a], perm[b]
+			for k, key := range q.OrderBy {
+				vi, oki := keys[i*nk+k], keyOK[i*nk+k]
+				vj, okj := keys[j*nk+k], keyOK[j*nk+k]
 				if !oki && !okj {
 					continue
 				}
@@ -188,278 +600,92 @@ func (ex *executor) run() (*Result, error) {
 			return false
 		})
 	} else {
-		// Deterministic order even without ORDER BY: sort rows by the
-		// projected terms.
-		sort.SliceStable(solutions, func(i, j int) bool {
-			return bindingLess(solutions[i], solutions[j], vars)
+		sort.SliceStable(perm, func(a, b int) bool {
+			return ex.rowLess(rows.row(perm[a]), rows.row(perm[b]), projCols)
 		})
 	}
 
-	// Project.
-	projected := make([]Binding, 0, len(solutions))
-	for _, s := range solutions {
-		row := make(Binding, len(vars))
-		for _, v := range vars {
-			if t, ok := s[v]; ok {
-				row[v] = t
-			}
-		}
-		projected = append(projected, row)
-	}
-
-	// DISTINCT.
+	// Project (still in ID space, into one flat arena) and DISTINCT.
+	nproj := len(projCols)
+	projected := rowset{stride: nproj, buf: make([]store.ID, 0, rows.n*nproj)}
+	var seen map[string]bool
 	if q.Distinct {
-		seen := map[string]bool{}
-		dedup := projected[:0]
-		for _, row := range projected {
-			key := bindingKey(row, vars)
-			if !seen[key] {
-				seen[key] = true
-				dedup = append(dedup, row)
+		seen = make(map[string]bool, rows.n)
+	}
+	keyBuf := make([]byte, 0, nproj*4)
+	for _, i := range perm {
+		r := rows.row(i)
+		start := len(projected.buf)
+		for _, col := range projCols {
+			if col >= 0 {
+				projected.buf = append(projected.buf, r[col])
+			} else {
+				projected.buf = append(projected.buf, 0)
 			}
 		}
-		projected = dedup
-	}
-
-	// OFFSET / LIMIT.
-	if q.Offset > 0 {
-		if q.Offset >= len(projected) {
-			projected = nil
-		} else {
-			projected = projected[q.Offset:]
+		projected.n++
+		if q.Distinct {
+			keyBuf = keyBuf[:0]
+			for _, id := range projected.buf[start:] {
+				keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+			if seen[string(keyBuf)] {
+				projected.pop()
+				continue
+			}
+			seen[string(keyBuf)] = true
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(projected) {
-		projected = projected[:q.Limit]
+
+	// OFFSET / LIMIT, still in ID space: only the rows that survive the
+	// window are ever materialised to terms.
+	first, last := 0, projected.n
+	if q.Offset > 0 && q.Offset < last {
+		first = q.Offset
+	} else if q.Offset >= last {
+		first = last
+	}
+	if q.Limit >= 0 && first+q.Limit < last {
+		last = first + q.Limit
 	}
 
-	return &Result{Form: FormSelect, Vars: vars, Solutions: projected}, nil
+	solutions := make([]Binding, 0, last-first)
+	for i := first; i < last; i++ {
+		pr := projected.row(i)
+		row := make(Binding, nproj)
+		for j, id := range pr {
+			if id != 0 {
+				row[vars[j]] = ex.term(id)
+			}
+		}
+		solutions = append(solutions, row)
+	}
+
+	return &Result{Form: FormSelect, Vars: vars, Solutions: solutions}, nil
 }
 
-func bindingLess(a, b Binding, vars []string) bool {
-	for _, v := range vars {
-		ta, oka := a[v]
-		tb, okb := b[v]
-		if !oka && !okb {
+// rowLess orders two rows by the projected columns' terms (unbound
+// first), the deterministic default order.
+func (ex *executor) rowLess(a, b []store.ID, projCols []int) bool {
+	for _, col := range projCols {
+		if col < 0 {
 			continue
 		}
-		if !oka {
+		ia, ib := a[col], b[col]
+		if ia == ib {
+			continue
+		}
+		if ia == 0 {
 			return true
 		}
-		if !okb {
+		if ib == 0 {
 			return false
 		}
-		if c := ta.Compare(tb); c != 0 {
+		if c := ex.term(ia).Compare(ex.term(ib)); c != 0 {
 			return c < 0
 		}
 	}
 	return false
-}
-
-func bindingKey(b Binding, vars []string) string {
-	var sb strings.Builder
-	for _, v := range vars {
-		if t, ok := b[v]; ok {
-			sb.WriteString(t.String())
-		}
-		sb.WriteByte('\x00')
-	}
-	return sb.String()
-}
-
-// joinPatterns extends one solution with the matches of a pattern
-// block (no filters), used for UNION branches and OPTIONAL blocks.
-func (ex *executor) joinPatterns(sol Binding, patterns []rdf.Triple) []Binding {
-	solutions := []Binding{sol}
-	remaining := append([]rdf.Triple(nil), patterns...)
-	for len(remaining) > 0 && len(solutions) > 0 {
-		rep := solutions[0]
-		bestIdx, bestCard := 0, int(^uint(0)>>1)
-		for i, pat := range remaining {
-			card := ex.st.EstimateCardinality(substitute(pat, rep))
-			if card < bestCard {
-				bestIdx, bestCard = i, card
-			}
-		}
-		pat := remaining[bestIdx]
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
-		var next []Binding
-		for _, s := range solutions {
-			ground := substitute(pat, s)
-			ex.st.ForEachMatch(ground, func(t rdf.Triple) bool {
-				if nb, ok := extend(s, pat, t); ok {
-					next = append(next, nb)
-				}
-				return true
-			})
-		}
-		solutions = next
-	}
-	return solutions
-}
-
-// evalBGP evaluates the basic graph pattern with FILTERs pushed down as
-// soon as their variables are bound.
-func (ex *executor) evalBGP(patterns []rdf.Triple, filters []Expr) []Binding {
-	if len(patterns) == 0 {
-		// Empty BGP has the single empty solution if no filters reject it.
-		b := Binding{}
-		for _, f := range filters {
-			v, ok := f.Eval(b)
-			bv, okb := ebv(v, ok)
-			if !okb || !bv {
-				return nil
-			}
-		}
-		return []Binding{b}
-	}
-
-	// Track which filters have been applied.
-	filterVars := make([]map[string]bool, len(filters))
-	for i, f := range filters {
-		filterVars[i] = exprVars(f)
-	}
-
-	remaining := make([]rdf.Triple, len(patterns))
-	copy(remaining, patterns)
-
-	solutions := []Binding{{}}
-	boundVars := map[string]bool{}
-	appliedFilter := make([]bool, len(filters))
-
-	for len(remaining) > 0 {
-		// Pick the most selective pattern given current bindings. The
-		// estimate uses the first solution's bindings as a representative
-		// (all solutions bind the same variable set).
-		var rep Binding
-		if len(solutions) > 0 {
-			rep = solutions[0]
-		} else {
-			return nil
-		}
-		bestIdx, bestCard := -1, int(^uint(0)>>1)
-		for i, pat := range remaining {
-			card := ex.st.EstimateCardinality(substitute(pat, rep))
-			// Prefer patterns sharing variables with bound set (joins)
-			// over cartesian products: penalise disconnected patterns.
-			if !sharesVar(pat, boundVars) && len(boundVars) > 0 {
-				card = card * 1000
-			}
-			if card < bestCard {
-				bestIdx, bestCard = i, card
-			}
-		}
-		pat := remaining[bestIdx]
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
-
-		var next []Binding
-		for _, sol := range solutions {
-			ground := substitute(pat, sol)
-			ex.st.ForEachMatch(ground, func(t rdf.Triple) bool {
-				nb, ok := extend(sol, pat, t)
-				if ok {
-					next = append(next, nb)
-				}
-				return true
-			})
-		}
-		solutions = next
-		for _, v := range pat.Vars() {
-			boundVars[v] = true
-		}
-
-		// Apply any filter whose variables are now all bound.
-		for i, f := range filters {
-			if appliedFilter[i] {
-				continue
-			}
-			ready := true
-			for v := range filterVars[i] {
-				if !boundVars[v] {
-					ready = false
-					break
-				}
-			}
-			if !ready {
-				continue
-			}
-			appliedFilter[i] = true
-			kept := solutions[:0]
-			for _, sol := range solutions {
-				v, ok := f.Eval(sol)
-				bv, okb := ebv(v, ok)
-				if okb && bv {
-					kept = append(kept, sol)
-				}
-			}
-			solutions = kept
-		}
-		if len(solutions) == 0 {
-			return nil
-		}
-	}
-
-	// Any filters not yet applied (mention unbound vars): SPARQL errors
-	// on unbound variables reject the solution, except BOUND which
-	// handles absence itself — Eval already implements that, so just
-	// apply them now.
-	for i, f := range filters {
-		if appliedFilter[i] {
-			continue
-		}
-		kept := solutions[:0]
-		for _, sol := range solutions {
-			v, ok := f.Eval(sol)
-			bv, okb := ebv(v, ok)
-			if okb && bv {
-				kept = append(kept, sol)
-			}
-		}
-		solutions = kept
-	}
-	return solutions
-}
-
-func sharesVar(pat rdf.Triple, bound map[string]bool) bool {
-	for _, v := range pat.Vars() {
-		if bound[v] {
-			return true
-		}
-	}
-	return false
-}
-
-// substitute replaces bound variables in pat with their terms.
-func substitute(pat rdf.Triple, b Binding) rdf.Triple {
-	sub := func(t rdf.Term) rdf.Term {
-		if t.IsVar() {
-			if bound, ok := b[t.Value]; ok {
-				return bound
-			}
-		}
-		return t
-	}
-	return rdf.Triple{S: sub(pat.S), P: sub(pat.P), O: sub(pat.O)}
-}
-
-// extend merges the match t into sol according to pat's variables. It
-// reports false on conflicting repeated variables.
-func extend(sol Binding, pat rdf.Triple, t rdf.Triple) (Binding, bool) {
-	nb := sol.Clone()
-	try := func(pt rdf.Term, val rdf.Term) bool {
-		if !pt.IsVar() {
-			return true
-		}
-		if prev, ok := nb[pt.Value]; ok {
-			return prev == val
-		}
-		nb[pt.Value] = val
-		return true
-	}
-	if !try(pat.S, t.S) || !try(pat.P, t.P) || !try(pat.O, t.O) {
-		return nil, false
-	}
-	return nb, true
 }
 
 // --- REGEX support with a small compiled-pattern cache ---

@@ -6,6 +6,14 @@
 // The engine is three stages: a lexer (this file), a recursive-descent
 // parser producing a small algebra (parser.go, ast.go), and an executor
 // that performs selectivity-ordered index nested-loop joins (eval.go).
+//
+// Execution is two-layered. The executor compiles each query to a
+// variable->column layout and runs entirely in the store's dictionary-ID
+// space over flat binding rows, materialising rdf.Term values only when
+// projecting the final Result (late materialization; see eval.go). The
+// original term-space evaluator is retained in termspace.go as
+// ExecuteTermSpace — the differential-testing oracle and the benchmark
+// baseline the ID engine is measured against.
 package sparql
 
 import (

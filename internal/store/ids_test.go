@@ -1,0 +1,196 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func idTriple(i int) rdf.Triple {
+	return rdf.Triple{
+		S: rdf.Res(fmt.Sprintf("S%d", i%50)),
+		P: rdf.Ont(fmt.Sprintf("p%d", i%7)),
+		O: rdf.NewInteger(int64(i % 90)),
+	}
+}
+
+// TestForEachMatchIDsAgreesWithTerms checks that every wildcard
+// combination of the ID-space scan yields exactly the term-space
+// matches, in the same order.
+func TestForEachMatchIDsAgreesWithTerms(t *testing.T) {
+	s := New()
+	for i := 0; i < 400; i++ {
+		s.Add(idTriple(i))
+	}
+	terms := s.TermsView()
+	toTerm := func(a, b, c ID) rdf.Triple {
+		return rdf.Triple{S: terms[a-1], P: terms[b-1], O: terms[c-1]}
+	}
+
+	sub, _ := s.Lookup(rdf.Res("S3"))
+	pred, _ := s.Lookup(rdf.Ont("p2"))
+	obj, _ := s.Lookup(rdf.NewInteger(45))
+	cases := []struct {
+		name string
+		tp   rdf.Triple
+		ip   [3]ID
+	}{
+		{"full-scan", rdf.Triple{}, [3]ID{}},
+		{"bound-s", rdf.Triple{S: rdf.Res("S3")}, [3]ID{sub, 0, 0}},
+		{"bound-p", rdf.Triple{P: rdf.Ont("p2")}, [3]ID{0, pred, 0}},
+		{"bound-o", rdf.Triple{O: rdf.NewInteger(45)}, [3]ID{0, 0, obj}},
+		{"bound-sp", rdf.Triple{S: rdf.Res("S3"), P: rdf.Ont("p2")}, [3]ID{sub, pred, 0}},
+		{"bound-po", rdf.Triple{P: rdf.Ont("p2"), O: rdf.NewInteger(45)}, [3]ID{0, pred, obj}},
+		{"bound-so", rdf.Triple{S: rdf.Res("S3"), O: rdf.NewInteger(45)}, [3]ID{sub, 0, obj}},
+		{"ground", rdf.Triple{S: rdf.Res("S3"), P: rdf.Ont("p2"), O: rdf.NewInteger(45)}, [3]ID{sub, pred, obj}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := s.Match(c.tp)
+			ids := s.MatchIDs(c.ip)
+			if len(ids) != len(want) {
+				t.Fatalf("MatchIDs returned %d rows, Match %d", len(ids), len(want))
+			}
+			for i, id3 := range ids {
+				if got := toTerm(id3[0], id3[1], id3[2]); got != want[i] {
+					t.Fatalf("row %d: IDs %v -> %v, want %v", i, id3, got, want[i])
+				}
+			}
+			if got, want := s.CountIDs(c.ip), s.Count(c.tp); got != want {
+				t.Fatalf("CountIDs = %d, Count = %d", got, want)
+			}
+			if got, want := s.EstimateCardinalityIDs(c.ip), s.EstimateCardinality(c.tp); got != want {
+				t.Fatalf("EstimateCardinalityIDs = %d, EstimateCardinality = %d", got, want)
+			}
+		})
+	}
+}
+
+func TestHasIDs(t *testing.T) {
+	s := New()
+	tr := rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.Res("B")}
+	s.Add(tr)
+	sid, _ := s.Lookup(tr.S)
+	pid, _ := s.Lookup(tr.P)
+	oid, _ := s.Lookup(tr.O)
+	if !s.HasIDs(sid, pid, oid) {
+		t.Fatal("HasIDs = false for present triple")
+	}
+	if s.HasIDs(oid, pid, sid) {
+		t.Fatal("HasIDs = true for reversed triple")
+	}
+	if s.HasIDs(0, pid, oid) {
+		t.Fatal("HasIDs = true for zero subject")
+	}
+}
+
+// TestForEachMatchIDsEarlyStop verifies fn returning false stops a scan.
+func TestForEachMatchIDsEarlyStop(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.Add(idTriple(i))
+	}
+	n := 0
+	s.ForEachMatchIDs([3]ID{}, func(_, _, _ ID) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("scan visited %d triples after early stop, want 5", n)
+	}
+}
+
+// TestTermsView checks the view covers every assigned ID and stays
+// valid across subsequent writes.
+func TestTermsView(t *testing.T) {
+	s := New()
+	s.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.Res("B")})
+	view := s.TermsView()
+	if len(view) != s.TermCount() {
+		t.Fatalf("view has %d terms, TermCount %d", len(view), s.TermCount())
+	}
+	id, _ := s.Lookup(rdf.Res("A"))
+	a := view[id-1]
+	// Grow the store; the old view must still resolve the old ID.
+	for i := 0; i < 1000; i++ {
+		s.Add(idTriple(i))
+	}
+	if view[id-1] != a || view[id-1] != rdf.Res("A") {
+		t.Fatal("old TermsView invalidated by later writes")
+	}
+}
+
+// TestAddAllBatch checks the single-lock batch insert path: counts,
+// duplicate suppression, and variable rejection.
+func TestAddAllBatch(t *testing.T) {
+	s := New()
+	batch := []rdf.Triple{
+		{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.Res("B")},
+		{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.Res("B")},    // duplicate
+		{S: rdf.Res("C"), P: rdf.Ont("p"), O: rdf.NewVar("x")}, // variable: rejected
+		{S: rdf.Res("C"), P: rdf.Ont("q"), O: rdf.Res("D")},
+	}
+	if n := s.AddAll(batch); n != 2 {
+		t.Fatalf("AddAll = %d, want 2", n)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if n := s.AddAll(batch); n != 0 {
+		t.Fatalf("second AddAll = %d, want 0", n)
+	}
+}
+
+// TestConcurrentReadersWithWriter exercises the lazily built sorted-key
+// caches under -race: parallel ForEachMatch / ForEachMatchIDs readers
+// (which build caches) against a writer stream of Adds (which
+// invalidate them). Any unsynchronised cache access fails the race
+// detector; the final consistency check catches lost invalidations.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		s.Add(idTriple(i))
+	}
+	pid, _ := s.Lookup(rdf.Ont("p1"))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r % 3 {
+				case 0: // ID scan with a bound predicate (bucket key cache)
+					s.ForEachMatchIDs([3]ID{0, pid, 0}, func(_, _, _ ID) bool { return true })
+				case 1: // full scan (outer key cache + bucket caches)
+					n := 0
+					s.ForEachMatchIDs([3]ID{}, func(_, _, _ ID) bool { n++; return n < 200 })
+				default: // term-space scan with a bound subject
+					s.ForEachMatch(rdf.Triple{S: rdf.Res("S7")}, func(rdf.Triple) bool { return true })
+				}
+			}
+		}(r)
+	}
+
+	for i := 50; i < 2000; i++ {
+		s.Add(idTriple(i))
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the writes, caches must reflect the final state.
+	want := s.Len()
+	got := 0
+	s.ForEachMatchIDs([3]ID{}, func(_, _, _ ID) bool { got++; return true })
+	if got != want {
+		t.Fatalf("full scan after concurrent writes visited %d triples, Len = %d", got, want)
+	}
+}

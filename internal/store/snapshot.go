@@ -68,8 +68,8 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	}
 	written := 0
 	var werr error
-	for sid, pmap := range s.spo {
-		for pid, objs := range pmap {
+	for sid, bk := range s.spo.buckets {
+		for pid, objs := range bk.entries {
 			for _, oid := range objs {
 				if werr = writeU32(uint32(sid)); werr != nil {
 					return werr
@@ -155,25 +155,45 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: triple count: %w", err)
 	}
+	// Bulk load: intern the whole dictionary in snapshot order (so the
+	// file's IDs are reused verbatim), then index the triples directly by
+	// ID, all under one exclusive lock.
 	st := New()
-	for i := uint32(0); i < tripleCount; i++ {
-		sid, err := readU32()
-		if err != nil {
-			return nil, fmt.Errorf("store: triple %d: %w", i, err)
+	st.mu.Lock()
+	for _, t := range terms {
+		st.intern(t)
+	}
+	dictOK := len(st.inverse) == int(termCount) // duplicates would shift IDs
+	st.mu.Unlock()
+	if !dictOK {
+		return nil, fmt.Errorf("store: snapshot dictionary contains duplicate terms")
+	}
+	loadTriples := func() error {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for i := uint32(0); i < tripleCount; i++ {
+			sid, err := readU32()
+			if err != nil {
+				return fmt.Errorf("store: triple %d: %w", i, err)
+			}
+			pid, err := readU32()
+			if err != nil {
+				return fmt.Errorf("store: triple %d: %w", i, err)
+			}
+			oid, err := readU32()
+			if err != nil {
+				return fmt.Errorf("store: triple %d: %w", i, err)
+			}
+			if sid == 0 || pid == 0 || oid == 0 ||
+				sid > termCount || pid > termCount || oid > termCount {
+				return fmt.Errorf("store: triple %d references invalid term ID", i)
+			}
+			st.addIDsLocked(ID(sid), ID(pid), ID(oid))
 		}
-		pid, err := readU32()
-		if err != nil {
-			return nil, fmt.Errorf("store: triple %d: %w", i, err)
-		}
-		oid, err := readU32()
-		if err != nil {
-			return nil, fmt.Errorf("store: triple %d: %w", i, err)
-		}
-		if sid == 0 || pid == 0 || oid == 0 ||
-			sid > termCount || pid > termCount || oid > termCount {
-			return nil, fmt.Errorf("store: triple %d references invalid term ID", i)
-		}
-		st.Add(rdf.Triple{S: terms[sid-1], P: terms[pid-1], O: terms[oid-1]})
+		return nil
+	}
+	if err := loadTriples(); err != nil {
+		return nil, err
 	}
 	if st.Len() != int(tripleCount) {
 		return nil, fmt.Errorf("store: snapshot declared %d triples, loaded %d (duplicates?)",

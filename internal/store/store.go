@@ -6,18 +6,123 @@
 // hash indexes (SPO, POS, OSP) so that every wildcard combination of a
 // triple pattern resolves to an index scan. The store is safe for
 // concurrent readers; writes take an exclusive lock.
+//
+// # Two-layer execution model
+//
+// The store exposes two query surfaces. The term-space API
+// (Match/ForEachMatch/Count) accepts rdf.Triple patterns and yields full
+// rdf.Term triples; it is the convenient surface for pipeline stages
+// that need a handful of lookups. The ID-space API (MatchIDs,
+// ForEachMatchIDs, CountIDs, HasIDs, EstimateCardinalityIDs) works
+// entirely on dictionary IDs and never materialises terms; the SPARQL
+// executor runs on it and converts IDs back to terms only when
+// projecting final results (late materialization). TermsView exposes the
+// dictionary as an immutable slice so that conversion needs no locks.
+//
+// Index buckets cache their sorted key slices; the caches are built
+// lazily by readers (idempotently, via atomic pointers, so concurrent
+// readers are race-free) and invalidated by writers that add a new key.
 package store
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 )
 
 // ID is a dictionary-encoded term identifier. The zero ID is reserved and
-// never assigned.
+// never assigned, so ID(0) doubles as the wildcard in ID-space patterns
+// and the "unbound" marker in executor binding rows.
 type ID uint32
+
+// bucket is one second-level index entry: third-position IDs keyed by the
+// second-position ID, plus a lazily built cache of the sorted keys.
+type bucket struct {
+	entries map[ID][]ID
+	// keys caches the sorted keys of entries. It is nil after a writer
+	// adds a new key; readers rebuild it on demand. Concurrent rebuilds
+	// are harmless: all readers compute the identical slice from the map
+	// state frozen under the store's read lock.
+	keys atomic.Pointer[[]ID]
+}
+
+// sortedKeys returns the cached sorted key slice, building it if needed.
+// Caller must hold the store lock (read or write).
+func (b *bucket) sortedKeys() []ID {
+	if p := b.keys.Load(); p != nil {
+		return *p
+	}
+	keys := make([]ID, 0, len(b.entries))
+	for k := range b.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b.keys.Store(&keys)
+	return keys
+}
+
+// index is one of the three triple permutations (SPO/POS/OSP): buckets by
+// first-position ID, plus a lazily built cache of the sorted bucket keys.
+type index struct {
+	buckets map[ID]*bucket
+	keys    atomic.Pointer[[]ID]
+}
+
+func newIndex(hint int) index {
+	return index{buckets: make(map[ID]*bucket, hint)}
+}
+
+// sortedKeys returns the cached sorted outer-key slice, building it if
+// needed. Caller must hold the store lock.
+func (ix *index) sortedKeys() []ID {
+	if p := ix.keys.Load(); p != nil {
+		return *p
+	}
+	keys := make([]ID, 0, len(ix.buckets))
+	for k := range ix.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ix.keys.Store(&keys)
+	return keys
+}
+
+// insert adds c to the sorted, unique list at [a][b], invalidating key
+// caches when a new key appears. It reports whether c was inserted.
+// Caller must hold the write lock.
+func (ix *index) insert(a, b, c ID) bool {
+	bk, ok := ix.buckets[a]
+	if !ok {
+		bk = &bucket{entries: make(map[ID][]ID, 4)}
+		ix.buckets[a] = bk
+		ix.keys.Store(nil)
+	}
+	lst, had := bk.entries[b]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= c })
+	if i < len(lst) && lst[i] == c {
+		return false
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = c
+	bk.entries[b] = lst
+	if !had {
+		bk.keys.Store(nil)
+	}
+	return true
+}
+
+// list returns the third-position IDs at [a][b] (nil when absent).
+// Caller must hold the store lock.
+func (ix *index) list(a, b ID) []ID {
+	bk, ok := ix.buckets[a]
+	if !ok {
+		return nil
+	}
+	return bk.entries[b]
+}
 
 // Store is an indexed, dictionary-encoded triple store.
 type Store struct {
@@ -27,9 +132,9 @@ type Store struct {
 	inverse []rdf.Term // inverse[id-1] = term
 
 	// Primary indexes: first key -> second key -> sorted third IDs.
-	spo map[ID]map[ID][]ID
-	pos map[ID]map[ID][]ID
-	osp map[ID]map[ID][]ID
+	spo index
+	pos index
+	osp index
 
 	size int
 }
@@ -38,9 +143,9 @@ type Store struct {
 func New() *Store {
 	return &Store{
 		dict: make(map[rdf.Term]ID, 1024),
-		spo:  make(map[ID]map[ID][]ID, 1024),
-		pos:  make(map[ID]map[ID][]ID, 256),
-		osp:  make(map[ID]map[ID][]ID, 1024),
+		spo:  newIndex(1024),
+		pos:  newIndex(256),
+		osp:  newIndex(1024),
 	}
 }
 
@@ -87,6 +192,17 @@ func (s *Store) Term(id ID) rdf.Term {
 	return s.inverse[id-1]
 }
 
+// TermsView returns a read-only view of the dictionary: TermsView()[id-1]
+// is the term for id. The dictionary is append-only and terms are
+// immutable, so the view stays valid for the IDs it covers even as the
+// store grows; callers must not modify it. This is the lock-free lookup
+// surface the SPARQL executor materialises final results through.
+func (s *Store) TermsView() []rdf.Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inverse
+}
+
 // Add inserts a triple. It reports whether the triple was new. Variable
 // terms are rejected (store data must be ground).
 func (s *Store) Add(t rdf.Triple) bool {
@@ -95,45 +211,43 @@ func (s *Store) Add(t rdf.Triple) bool {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.addLocked(t)
+}
+
+// addLocked inserts a triple. Caller must hold the write lock.
+func (s *Store) addLocked(t rdf.Triple) bool {
 	sid, pid, oid := s.intern(t.S), s.intern(t.P), s.intern(t.O)
-	if !insertIndex(s.spo, sid, pid, oid) {
+	return s.addIDsLocked(sid, pid, oid)
+}
+
+// addIDsLocked indexes an already-interned triple. Caller must hold the
+// write lock.
+func (s *Store) addIDsLocked(sid, pid, oid ID) bool {
+	if !s.spo.insert(sid, pid, oid) {
 		return false
 	}
-	insertIndex(s.pos, pid, oid, sid)
-	insertIndex(s.osp, oid, sid, pid)
+	s.pos.insert(pid, oid, sid)
+	s.osp.insert(oid, sid, pid)
 	s.size++
 	return true
 }
 
-// AddAll inserts every triple and returns the number newly added.
+// AddAll inserts every triple under a single exclusive lock and returns
+// the number newly added. For bulk loads this amortises the lock
+// round-trip and index-cache invalidation across the whole batch.
 func (s *Store) AddAll(ts []rdf.Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, t := range ts {
-		if s.Add(t) {
+		if t.S.IsVar() || t.P.IsVar() || t.O.IsVar() {
+			continue
+		}
+		if s.addLocked(t) {
 			n++
 		}
 	}
 	return n
-}
-
-// insertIndex adds c to idx[a][b], keeping the slice sorted and unique.
-// It reports whether c was inserted.
-func insertIndex(idx map[ID]map[ID][]ID, a, b, c ID) bool {
-	m, ok := idx[a]
-	if !ok {
-		m = make(map[ID][]ID, 4)
-		idx[a] = m
-	}
-	lst := m[b]
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= c })
-	if i < len(lst) && lst[i] == c {
-		return false
-	}
-	lst = append(lst, 0)
-	copy(lst[i+1:], lst[i:])
-	lst[i] = c
-	m[b] = lst
-	return true
 }
 
 // Has reports whether the exact ground triple is present.
@@ -152,7 +266,18 @@ func (s *Store) Has(t rdf.Triple) bool {
 	if !ok {
 		return false
 	}
-	lst := s.spo[sid][pid]
+	return s.hasIDsLocked(sid, pid, oid)
+}
+
+// HasIDs reports whether the triple (s, p, o) is present, by ID.
+func (s *Store) HasIDs(sid, pid, oid ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hasIDsLocked(sid, pid, oid)
+}
+
+func (s *Store) hasIDsLocked(sid, pid, oid ID) bool {
+	lst := s.spo.list(sid, pid)
 	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
 	return i < len(lst) && lst[i] == oid
 }
@@ -168,100 +293,149 @@ func (s *Store) Match(pat rdf.Triple) []rdf.Triple {
 	return out
 }
 
-// Count returns the number of triples matching the pattern.
+// MatchIDs returns all ID triples matching the pattern (ID(0) is the
+// wildcard), in deterministic order.
+func (s *Store) MatchIDs(pat [3]ID) [][3]ID {
+	var out [][3]ID
+	s.ForEachMatchIDs(pat, func(a, b, c ID) bool {
+		out = append(out, [3]ID{a, b, c})
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern. The
+// indexes hold sorted, unique triples, so the cardinality computation
+// is exact and no scan is needed.
 func (s *Store) Count(pat rdf.Triple) int {
-	n := 0
-	s.ForEachMatch(pat, func(rdf.Triple) bool { n++; return true })
-	return n
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids, ok := s.patternIDsLocked(pat)
+	if !ok {
+		return 0
+	}
+	return s.estimateCardinalityIDsLocked(ids)
+}
+
+// CountIDs returns the number of triples matching the ID pattern.
+func (s *Store) CountIDs(pat [3]ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.estimateCardinalityIDsLocked(pat)
+}
+
+// patternIDsLocked resolves the bound terms of pat to IDs, with ID(0)
+// for wildcards. The bool result is false when a bound term is not in
+// the dictionary (the pattern can match nothing). Caller holds the lock.
+func (s *Store) patternIDsLocked(pat rdf.Triple) ([3]ID, bool) {
+	var ids [3]ID
+	for i, t := range [3]rdf.Term{pat.S, pat.P, pat.O} {
+		if t.IsZero() || t.IsVar() {
+			continue
+		}
+		id, ok := s.dict[t]
+		if !ok {
+			return ids, false
+		}
+		ids[i] = id
+	}
+	return ids, true
 }
 
 // ForEachMatch streams the triples matching pat to fn in deterministic
-// order; fn returning false stops the iteration early.
+// order; fn returning false stops the iteration early. This is the
+// term-space surface: it materialises an rdf.Triple per match. Hot paths
+// that do not need terms should use ForEachMatchIDs instead.
 func (s *Store) ForEachMatch(pat rdf.Triple, fn func(rdf.Triple) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-
-	bound := func(t rdf.Term) (ID, bool, bool) { // id, isBound, known
-		if t.IsZero() || t.IsVar() {
-			return 0, false, true
-		}
-		id, ok := s.dict[t]
-		return id, true, ok
-	}
-	sid, sb, sk := bound(pat.S)
-	pid, pb, pk := bound(pat.P)
-	oid, ob, ok := bound(pat.O)
-	if !sk || !pk || !ok {
+	ids, ok := s.patternIDsLocked(pat)
+	if !ok {
 		return // a bound term not in the dictionary matches nothing
 	}
+	inv := s.inverse
+	s.forEachMatchIDsLocked(ids, func(a, b, c ID) bool {
+		return fn(rdf.Triple{S: inv[a-1], P: inv[b-1], O: inv[c-1]})
+	})
+}
 
-	emit := func(a, b, c ID, order int) bool {
-		var t rdf.Triple
-		switch order {
-		case 0: // spo
-			t = rdf.Triple{S: s.inverse[a-1], P: s.inverse[b-1], O: s.inverse[c-1]}
-		case 1: // pos
-			t = rdf.Triple{S: s.inverse[c-1], P: s.inverse[a-1], O: s.inverse[b-1]}
-		default: // osp
-			t = rdf.Triple{S: s.inverse[b-1], P: s.inverse[c-1], O: s.inverse[a-1]}
-		}
-		return fn(t)
-	}
+// ForEachMatchIDs streams the ID triples matching pat to fn in
+// deterministic (sorted-ID) order; ID(0) acts as the wildcard and fn
+// returning false stops the iteration early. No terms are materialised.
+func (s *Store) ForEachMatchIDs(pat [3]ID, fn func(s, p, o ID) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.forEachMatchIDsLocked(pat, fn)
+}
 
+// forEachMatchIDsLocked is the shared scan kernel. Caller holds the lock.
+func (s *Store) forEachMatchIDsLocked(pat [3]ID, fn func(s, p, o ID) bool) {
+	sid, pid, oid := pat[0], pat[1], pat[2]
 	switch {
-	case sb && pb && ob: // fully ground: existence check
-		lst := s.spo[sid][pid]
-		i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
-		if i < len(lst) && lst[i] == oid {
-			emit(sid, pid, oid, 0)
+	case sid != 0 && pid != 0 && oid != 0: // fully ground: existence check
+		if s.hasIDsLocked(sid, pid, oid) {
+			fn(sid, pid, oid)
 		}
-	case sb && pb: // S P ? -> spo[s][p]
-		for _, o := range s.spo[sid][pid] {
-			if !emit(sid, pid, o, 0) {
+	case sid != 0 && pid != 0: // S P ? -> spo[s][p]
+		for _, o := range s.spo.list(sid, pid) {
+			if !fn(sid, pid, o) {
 				return
 			}
 		}
-	case pb && ob: // ? P O -> pos[p][o]
-		for _, sub := range s.pos[pid][oid] {
-			if !emit(pid, oid, sub, 1) {
+	case pid != 0 && oid != 0: // ? P O -> pos[p][o]
+		for _, sub := range s.pos.list(pid, oid) {
+			if !fn(sub, pid, oid) {
 				return
 			}
 		}
-	case sb && ob: // S ? O -> osp[o][s]
-		for _, p := range s.osp[oid][sid] {
-			if !emit(oid, sid, p, 2) {
+	case sid != 0 && oid != 0: // S ? O -> osp[o][s]
+		for _, p := range s.osp.list(oid, sid) {
+			if !fn(sid, p, oid) {
 				return
 			}
 		}
-	case sb: // S ? ? -> scan spo[s]
-		for _, p := range sortedKeys(s.spo[sid]) {
-			for _, o := range s.spo[sid][p] {
-				if !emit(sid, p, o, 0) {
+	case sid != 0: // S ? ? -> scan spo[s]
+		bk, ok := s.spo.buckets[sid]
+		if !ok {
+			return
+		}
+		for _, p := range bk.sortedKeys() {
+			for _, o := range bk.entries[p] {
+				if !fn(sid, p, o) {
 					return
 				}
 			}
 		}
-	case pb: // ? P ? -> scan pos[p]
-		for _, o := range sortedKeys(s.pos[pid]) {
-			for _, sub := range s.pos[pid][o] {
-				if !emit(pid, o, sub, 1) {
+	case pid != 0: // ? P ? -> scan pos[p]
+		bk, ok := s.pos.buckets[pid]
+		if !ok {
+			return
+		}
+		for _, o := range bk.sortedKeys() {
+			for _, sub := range bk.entries[o] {
+				if !fn(sub, pid, o) {
 					return
 				}
 			}
 		}
-	case ob: // ? ? O -> scan osp[o]
-		for _, sub := range sortedKeys(s.osp[oid]) {
-			for _, p := range s.osp[oid][sub] {
-				if !emit(oid, sub, p, 2) {
+	case oid != 0: // ? ? O -> scan osp[o]
+		bk, ok := s.osp.buckets[oid]
+		if !ok {
+			return
+		}
+		for _, sub := range bk.sortedKeys() {
+			for _, p := range bk.entries[sub] {
+				if !fn(sub, p, oid) {
 					return
 				}
 			}
 		}
 	default: // full scan
-		for _, sub := range sortedOuterKeys(s.spo) {
-			for _, p := range sortedKeys(s.spo[sub]) {
-				for _, o := range s.spo[sub][p] {
-					if !emit(sub, p, o, 0) {
+		for _, sub := range s.spo.sortedKeys() {
+			bk := s.spo.buckets[sub]
+			for _, p := range bk.sortedKeys() {
+				for _, o := range bk.entries[p] {
+					if !fn(sub, p, o) {
 						return
 					}
 				}
@@ -270,71 +444,58 @@ func (s *Store) ForEachMatch(pat rdf.Triple, fn func(rdf.Triple) bool) {
 	}
 }
 
-func sortedOuterKeys(m map[ID]map[ID][]ID) []ID {
-	keys := make([]ID, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
-}
-
-func sortedKeys(m map[ID][]ID) []ID {
-	keys := make([]ID, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
-}
-
 // EstimateCardinality returns an upper-bound estimate of the number of
 // matches for pat, used by the SPARQL executor to order joins. It never
 // materialises results.
 func (s *Store) EstimateCardinality(pat rdf.Triple) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-
-	bound := func(t rdf.Term) (ID, bool, bool) {
-		if t.IsZero() || t.IsVar() {
-			return 0, false, true
-		}
-		id, ok := s.dict[t]
-		return id, true, ok
-	}
-	sid, sb, sk := bound(pat.S)
-	pid, pb, pk := bound(pat.P)
-	oid, ob, ok := bound(pat.O)
-	if !sk || !pk || !ok {
+	ids, ok := s.patternIDsLocked(pat)
+	if !ok {
 		return 0
 	}
-	sum := func(m map[ID][]ID) int {
+	return s.estimateCardinalityIDsLocked(ids)
+}
+
+// EstimateCardinalityIDs is EstimateCardinality on an ID pattern (ID(0)
+// is the wildcard).
+func (s *Store) EstimateCardinalityIDs(pat [3]ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.estimateCardinalityIDsLocked(pat)
+}
+
+func (s *Store) estimateCardinalityIDsLocked(pat [3]ID) int {
+	sid, pid, oid := pat[0], pat[1], pat[2]
+	sum := func(ix *index, key ID) int {
+		bk, ok := ix.buckets[key]
+		if !ok {
+			return 0
+		}
 		n := 0
-		for _, lst := range m {
+		for _, lst := range bk.entries {
 			n += len(lst)
 		}
 		return n
 	}
 	switch {
-	case sb && pb && ob:
-		lst := s.spo[sid][pid]
-		i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
-		if i < len(lst) && lst[i] == oid {
+	case sid != 0 && pid != 0 && oid != 0:
+		if s.hasIDsLocked(sid, pid, oid) {
 			return 1
 		}
 		return 0
-	case sb && pb:
-		return len(s.spo[sid][pid])
-	case pb && ob:
-		return len(s.pos[pid][oid])
-	case sb && ob:
-		return len(s.osp[oid][sid])
-	case sb:
-		return sum(s.spo[sid])
-	case pb:
-		return sum(s.pos[pid])
-	case ob:
-		return sum(s.osp[oid])
+	case sid != 0 && pid != 0:
+		return len(s.spo.list(sid, pid))
+	case pid != 0 && oid != 0:
+		return len(s.pos.list(pid, oid))
+	case sid != 0 && oid != 0:
+		return len(s.osp.list(oid, sid))
+	case sid != 0:
+		return sum(&s.spo, sid)
+	case pid != 0:
+		return sum(&s.pos, pid)
+	case oid != 0:
+		return sum(&s.osp, oid)
 	default:
 		return s.size
 	}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the tentpole benchmarks (ID-space engine vs. the retained
+# term-space reference path) and emits BENCH_PR1.json with ns/op and
+# allocs/op per benchmark, so later PRs have a perf trajectory to
+# compare against.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+benchtime="${BENCHTIME:-1s}"
+
+raw="$(go test -run '^$' \
+  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkAnswerThroughput|BenchmarkTable2QALDEvaluation' \
+  -benchmem -benchtime="$benchtime" .)"
+
+echo "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    }
+    if (ns != "") {
+        names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs; n++
+    }
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": {\"ns_op\": %s", names[i], nss[i]
+        if (bs[i] != "") printf ", \"bytes_op\": %s", bs[i]
+        if (as[i] != "") printf ", \"allocs_op\": %s", as[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  }\n}\n"
+}' <<<"$raw" > "$out"
+
+echo "wrote $out"

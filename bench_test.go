@@ -15,12 +15,14 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/answer"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/ner"
 	"repro/internal/nlp/depparse"
 	"repro/internal/patterns"
+	"repro/internal/propmap"
 	"repro/internal/qald"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -505,6 +507,119 @@ func BenchmarkSPARQLScale(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- PR 2 tentpole benchmarks: concurrent candidate fan-out ---
+//
+// A multi-pattern question whose candidates are expensive joins and
+// whose winner sits at the bottom of the ranking forces the §2.3 loop
+// to execute (nearly) every candidate — the worst case sequential
+// execution pays in full and the speculative fan-out overlaps. The
+// deterministic commit protocol means both report identical results
+// (asserted every iteration); only the wall clock differs.
+
+var (
+	fanoutOnce sync.Once
+	fanoutKB   *kb.KB
+	fanoutMP   *propmap.Mapping
+	fanoutWant string
+)
+
+func fanoutSetup(b *testing.B) (*kb.KB, *propmap.Mapping) {
+	b.Helper()
+	fanoutOnce.Do(func() {
+		fanoutKB = kb.Build(kb.Config{Seed: 7,
+			SyntheticPersons: 3000, SyntheticCities: 600, SyntheticBooks: 1500})
+		// ?x rdf:type Person joined against every candidate property:
+		// object properties rank high and never yield a date, so the
+		// ExpectDate filter rejects them and the loop descends to the
+		// low-ranked deathDate candidate.
+		locals := []struct {
+			name string
+			freq int
+		}{
+			{"birthPlace", 90}, {"deathPlace", 80}, {"residence", 70},
+			{"almaMater", 60}, {"employer", 50}, {"team", 40},
+			{"author", 30}, {"capital", 20}, {"deathDate", 1},
+		}
+		var cands []propmap.PropCandidate
+		for _, l := range locals {
+			p, ok := fanoutKB.PropertyByLocal(l.name)
+			if !ok {
+				continue
+			}
+			cands = append(cands, propmap.PropCandidate{
+				Property: p, Sim: 0.8, Freq: l.freq, Source: propmap.SourcePattern,
+			})
+		}
+		fanoutMP = &propmap.Mapping{
+			Extraction: &triplex.Extraction{
+				Question: "fan-out benchmark question",
+				Expected: triplex.Expected{Kind: triplex.ExpectDate},
+			},
+			Triples: []propmap.MappedTriple{
+				{SubjectVar: "p", Class: rdf.Ont("Person")},
+				{SubjectVar: "p", ObjectVar: "x", Predicates: cands},
+			},
+		}
+		ex := answer.New(fanoutKB, answer.Config{MaxQueries: 256, Parallelism: 1})
+		res, err := ex.Extract(fanoutMP)
+		if err != nil {
+			panic(err)
+		}
+		if res.Winning == nil {
+			panic("fan-out benchmark question unanswered")
+		}
+		fanoutWant = res.Winning.SPARQL
+	})
+	return fanoutKB, fanoutMP
+}
+
+func benchmarkExtract(b *testing.B, parallelism int) {
+	k, mp := fanoutSetup(b)
+	ex := answer.New(k, answer.Config{MaxQueries: 256, Parallelism: parallelism})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Extract(mp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Winning == nil || res.Winning.SPARQL != fanoutWant {
+			b.Fatalf("parallelism=%d diverged: %+v", parallelism, res.Winning)
+		}
+	}
+}
+
+// BenchmarkExtractSequential executes the candidate set in strict rank
+// order on one goroutine (Parallelism: 1), the reference semantics.
+func BenchmarkExtractSequential(b *testing.B) { benchmarkExtract(b, 1) }
+
+// BenchmarkExtractParallel fans the same candidate set out across 4
+// workers with the rank-order commit protocol.
+func BenchmarkExtractParallel(b *testing.B) { benchmarkExtract(b, 4) }
+
+// BenchmarkExtractParallelMax uses every core (Parallelism: 0 =
+// GOMAXPROCS).
+func BenchmarkExtractParallelMax(b *testing.B) { benchmarkExtract(b, 0) }
+
+// BenchmarkQALDEvalWorkers4 runs the Table 2 evaluation with
+// question-level parallelism on top of the per-question fan-out (the
+// cmd/qald-eval -workers path).
+func BenchmarkQALDEvalWorkers4(b *testing.B) {
+	s := sharedSystem(b)
+	qs := qald.Questions()
+	var rep *qald.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = qald.EvaluateWorkers(s, qs, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Precision, "precision")
+	b.ReportMetric(rep.Recall, "recall")
+	b.ReportMetric(rep.F1, "F1")
 }
 
 // BenchmarkSnapshotRoundTrip measures the binary snapshot dump/load.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qa [-explain] [-top N] [-kb file.nt] "Which book is written by Orhan Pamuk?"
+//	qa [-explain] [-top N] [-kb file.nt] [-parallel N] "Which book is written by Orhan Pamuk?"
 //	qa -i       # interactive: one question per line on stdin
 //
 // With no arguments it answers a demonstration set of questions.
@@ -27,23 +27,27 @@ func main() {
 	top := flag.Int("top", 5, "number of candidate queries to show with -explain")
 	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
 	interactive := flag.Bool("i", false, "interactive mode: read one question per line from stdin")
+	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var sys *core.System
-	if *kbPath != "" {
-		f, err := os.Open(*kbPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "qa:", err)
-			os.Exit(1)
-		}
-		loaded, err := kb.Load(f, *kbPath)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "qa:", err)
-			os.Exit(1)
-		}
+	if *kbPath != "" || *parallel != 0 {
 		cfg := core.DefaultConfig()
-		cfg.KB = loaded
+		cfg.Parallelism = *parallel
+		if *kbPath != "" {
+			f, err := os.Open(*kbPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qa:", err)
+				os.Exit(1)
+			}
+			loaded, err := kb.Load(f, *kbPath)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qa:", err)
+				os.Exit(1)
+			}
+			cfg.KB = loaded
+		}
 		sys = core.New(cfg)
 	} else {
 		sys = core.Default()

@@ -9,6 +9,12 @@
 //	qald-eval -table1          # print Table 1
 //	qald-eval -ablations       # run the ablation configurations
 //	qald-eval -by-category     # per-category breakdown
+//	qald-eval -workers 8       # answer questions concurrently
+//	qald-eval -parallel 4      # bound the per-question candidate fan-out
+//
+// The two parallelism layers compose: -workers batches questions across
+// goroutines while -parallel bounds the candidate-query fan-out inside
+// each question; both leave every reported number unchanged.
 package main
 
 import (
@@ -27,6 +33,8 @@ func main() {
 	perQuestion := flag.Bool("per-question", true, "print the per-question report")
 	xmlOut := flag.String("xml", "", "write the run in QALD challenge XML format to this file")
 	extensions := flag.Bool("extensions", false, "enable the future-work boolean/aggregation extensions")
+	workers := flag.Int("workers", 1, "question-level parallelism: answer up to N questions concurrently")
+	parallel := flag.Int("parallel", 0, "candidate-query fan-out per question (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if *table1 {
@@ -35,13 +43,14 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
+	cfg.Parallelism = *parallel
 	if *extensions {
 		cfg.EnableBoolean = true
 		cfg.EnableAggregation = true
 		cfg.EnableSuperlatives = true
 	}
 	sys := core.New(cfg)
-	rep, err := qald.Evaluate(sys, qald.Questions())
+	rep, err := qald.EvaluateWorkers(sys, qald.Questions(), *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qald-eval:", err)
 		os.Exit(1)

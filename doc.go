@@ -21,6 +21,18 @@
 // layer contracts, and BENCH_PR1.json for the measured speedups over
 // the retained term-space reference evaluator.
 //
+// On top of the ID engine sit two composable parallelism layers, both
+// result-deterministic. Candidate queries execute on a bounded worker
+// pool with rank-order commit: workers speculate on lower-ranked
+// candidates, outcomes commit strictly in §2.3.1 rank order, and a
+// committed winner cancels in-flight losers through context-aware
+// execution (sparql.ExecuteCtx), so the answer is byte-identical to
+// sequential execution at any parallelism (internal/answer's package
+// doc describes the protocol). Above it, the evaluation harness batches
+// whole questions across goroutines (qald.EvaluateWorkers, cmd/
+// qald-eval -workers) — the pipeline is read-only after construction
+// and the store supports parallel readers.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured numbers, and bench_test.go for the per-table/figure
 // regeneration harness.

@@ -4,10 +4,27 @@
 // by the product of the predicates' pattern frequencies (§2.3.1),
 // filtering answers by the expected answer type of Table 1 (§2.3.2) and
 // returning the top-ranked answer set.
+//
+// # Concurrency model
+//
+// Candidate queries execute on a bounded worker pool (Config.
+// Parallelism, default GOMAXPROCS) with deterministic first-winner
+// semantics: workers speculate on lower-ranked candidates while
+// higher-ranked ones are still running, but outcomes commit strictly in
+// rank order — candidate i's bookkeeping (Executed, Raw, Answers, Err)
+// becomes visible only once every candidate ranked above it has
+// resolved without winning. When a winner commits, the shared context
+// cancels in-flight losers (sparql.ExecuteCtx aborts between join
+// steps) and speculative results past the winner are discarded, so the
+// Result is byte-identical to sequential execution (Parallelism: 1).
+// The ASK boolean path and the COUNT aggregation retry ride the same
+// rank-order commit protocol; see fanout.go.
 package answer
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -33,6 +50,12 @@ type Config struct {
 	// numeric-typed questions whose queries return entities answer with
 	// the (distinct) result count.
 	EnableAggregation bool
+
+	// Parallelism bounds the candidate-query fan-out worker pool: 0
+	// uses GOMAXPROCS, 1 (or any negative value) executes sequentially.
+	// Results are identical at every setting (deterministic first-winner
+	// commit protocol); only wall-clock latency changes.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper.
@@ -51,6 +74,9 @@ type CandidateQuery struct {
 	Raw int
 	// Executed marks whether the ranking loop reached this query.
 	Executed bool
+	// Err records the execution error for an executed candidate (nil
+	// for candidates that ran to completion).
+	Err error
 }
 
 // Result is the outcome of §2.3 for one question.
@@ -62,7 +88,10 @@ type Result struct {
 	Winning *CandidateQuery
 	// Candidates is Q in rank order.
 	Candidates []CandidateQuery
-	Expected   triplex.Expected
+	// Truncated reports that the Cartesian product exceeded MaxQueries
+	// and Candidates holds only the top-scoring combinations.
+	Truncated bool
+	Expected  triplex.Expected
 }
 
 // Answered reports whether the system produced an answer.
@@ -100,10 +129,6 @@ func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
 
 	// Per-triple alternatives: each alternative is a set of SPARQL
 	// triple patterns plus a score factor.
-	type alternative struct {
-		patterns []rdf.Triple
-		score    float64
-	}
 	perTriple := make([][]alternative, 0, len(mp.Triples))
 	for _, mt := range mp.Triples {
 		var alts []alternative
@@ -131,23 +156,11 @@ func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
 		perTriple = append(perTriple, alts)
 	}
 
-	// Cartesian product → Q.
-	combos := [][]alternative{{}}
-	for _, alts := range perTriple {
-		var next [][]alternative
-		for _, combo := range combos {
-			for _, alt := range alts {
-				if len(next) >= e.cfg.MaxQueries {
-					break
-				}
-				extended := make([]alternative, len(combo)+1)
-				copy(extended, combo)
-				extended[len(combo)] = alt
-				next = append(next, extended)
-			}
-		}
-		combos = next
-	}
+	// Cartesian product → Q, capped to the top-MaxQueries combinations
+	// by score (not by generation order, which used to drop high-score
+	// combinations while keeping low-score ones).
+	combos, truncated := topCombos(perTriple, e.cfg.MaxQueries)
+	res.Truncated = truncated
 
 	boolean := expected.Kind == triplex.ExpectBoolean
 	for _, combo := range combos {
@@ -190,28 +203,7 @@ func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
 		return e.executeBoolean(res)
 	}
 
-	// Execute in rank order; the first query whose (type-filtered)
-	// answer set is non-empty wins.
-	for i := range res.Candidates {
-		cq := &res.Candidates[i]
-		cq.Executed = true
-		r, err := sparql.Execute(e.kb.Store, cq.Query)
-		if err != nil {
-			continue
-		}
-		col := r.Column("x")
-		cq.Raw = len(col)
-		for _, term := range col {
-			if e.cfg.DisableTypeCheck || e.typeMatches(term, expected) {
-				cq.Answers = append(cq.Answers, term)
-			}
-		}
-		if len(cq.Answers) > 0 {
-			res.Answers = cq.Answers
-			res.Winning = cq
-			break
-		}
-	}
+	e.executeSelect(res, expected)
 
 	// Future-work COUNT extension: a numeric question whose queries
 	// only return entities answers with the distinct result count.
@@ -222,9 +214,71 @@ func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
 	return res, nil
 }
 
+// workers resolves Config.Parallelism: 0 → GOMAXPROCS, <= 1 →
+// sequential.
+func (e *Extractor) workers() int {
+	if e.cfg.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if e.cfg.Parallelism < 1 {
+		return 1
+	}
+	return e.cfg.Parallelism
+}
+
+// execOutcome is one candidate's execution result, produced
+// speculatively by a worker and applied to the Result by the rank-order
+// commit.
+type execOutcome struct {
+	answers []rdf.Term
+	raw     int
+	boolean bool
+	err     error
+}
+
+// executeSelect runs the SELECT candidates in rank order across the
+// worker pool; the first query whose (type-filtered) answer set is
+// non-empty wins.
+func (e *Extractor) executeSelect(res *Result, expected triplex.Expected) {
+	exec := func(ctx context.Context, i int) execOutcome {
+		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, res.Candidates[i].Query)
+		if err != nil {
+			return execOutcome{err: err}
+		}
+		col := r.Column("x")
+		out := execOutcome{raw: len(col)}
+		for _, term := range col {
+			if e.cfg.DisableTypeCheck || e.typeMatches(term, expected) {
+				out.answers = append(out.answers, term)
+			}
+		}
+		return out
+	}
+	commit := func(i int, v execOutcome) bool {
+		cq := &res.Candidates[i]
+		cq.Executed = true
+		if v.err != nil {
+			cq.Err = v.err
+			return false
+		}
+		cq.Raw = v.raw
+		cq.Answers = v.answers
+		if len(cq.Answers) > 0 {
+			res.Answers = cq.Answers
+			res.Winning = cq
+			return true
+		}
+		return false
+	}
+	runRanked(e.workers(), len(res.Candidates), exec, commit)
+}
+
 // executeBoolean answers a yes/no question: the first ASK returning
-// true wins; if every candidate is false, the top-ranked candidate
-// answers "false".
+// true wins; if every candidate that actually executed is false, the
+// top-ranked successfully-executed candidate answers "false". A
+// candidate that errors contributes nothing — in particular, a question
+// whose every candidate errors stays unanswered instead of answering
+// "false" with full confidence.
 func (e *Extractor) executeBoolean(res *Result) (*Result, error) {
 	boolLit := func(v bool) rdf.Term {
 		if v {
@@ -232,23 +286,38 @@ func (e *Extractor) executeBoolean(res *Result) (*Result, error) {
 		}
 		return rdf.NewTypedLiteral("false", rdf.XSDBoolean)
 	}
-	for i := range res.Candidates {
+	firstOK := -1 // top-ranked candidate that executed without error
+	exec := func(ctx context.Context, i int) execOutcome {
+		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, res.Candidates[i].Query)
+		if err != nil {
+			return execOutcome{err: err}
+		}
+		return execOutcome{boolean: r.Boolean}
+	}
+	commit := func(i int, v execOutcome) bool {
 		cq := &res.Candidates[i]
 		cq.Executed = true
-		r, err := sparql.Execute(e.kb.Store, cq.Query)
-		if err != nil {
-			continue
+		if v.err != nil {
+			cq.Err = v.err
+			return false
 		}
-		if r.Boolean {
+		if firstOK < 0 {
+			firstOK = i
+		}
+		if v.boolean {
 			cq.Answers = []rdf.Term{boolLit(true)}
 			cq.Raw = 1
 			res.Answers = cq.Answers
 			res.Winning = cq
-			return res, nil
+			return true
 		}
+		return false
 	}
-	if len(res.Candidates) > 0 {
-		cq := &res.Candidates[0]
+	if runRanked(e.workers(), len(res.Candidates), exec, commit) >= 0 {
+		return res, nil
+	}
+	if firstOK >= 0 {
+		cq := &res.Candidates[firstOK]
 		cq.Answers = []rdf.Term{boolLit(false)}
 		res.Answers = cq.Answers
 		res.Winning = cq
@@ -257,13 +326,18 @@ func (e *Extractor) executeBoolean(res *Result) (*Result, error) {
 }
 
 // executeAggregation retries the candidates as COUNT(DISTINCT ?x)
-// queries, answering with the count of the first candidate whose raw
-// result set is non-empty.
+// queries on the worker pool, answering with the count of the first
+// (rank-order) candidate whose raw result set is non-empty.
 func (e *Extractor) executeAggregation(res *Result) {
-	for i := range res.Candidates {
+	type aggOutcome struct {
+		count rdf.Term
+		query *sparql.Query
+		ok    bool
+	}
+	exec := func(ctx context.Context, i int) aggOutcome {
 		cq := &res.Candidates[i]
 		if cq.Executed && cq.Raw == 0 {
-			continue // already known empty
+			return aggOutcome{} // already known empty
 		}
 		countQ := &sparql.Query{
 			Form:     sparql.FormSelect,
@@ -271,22 +345,30 @@ func (e *Extractor) executeAggregation(res *Result) {
 			Patterns: cq.Query.Patterns,
 			Limit:    -1,
 		}
-		r, err := sparql.Execute(e.kb.Store, countQ)
+		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, countQ)
 		if err != nil || len(r.Solutions) == 0 {
-			continue
+			return aggOutcome{}
 		}
 		count := r.Solutions[0]["x"]
 		if f, ok := count.Float(); !ok || f <= 0 {
-			continue
+			return aggOutcome{}
 		}
+		return aggOutcome{count: count, query: countQ, ok: true}
+	}
+	commit := func(i int, v aggOutcome) bool {
+		if !v.ok {
+			return false
+		}
+		cq := &res.Candidates[i]
 		cq.Executed = true
-		cq.Answers = []rdf.Term{count}
-		cq.SPARQL = countQ.String()
-		cq.Query = countQ
+		cq.Answers = []rdf.Term{v.count}
+		cq.SPARQL = v.query.String()
+		cq.Query = v.query
 		res.Answers = cq.Answers
 		res.Winning = cq
-		return
+		return true
 	}
+	runRanked(e.workers(), len(res.Candidates), exec, commit)
 }
 
 func slotTerm(varName string, entity rdf.Term) rdf.Term {

@@ -1,0 +1,144 @@
+// Candidate-combination enumeration for §2.3: the Cartesian product of
+// the per-triple alternative sets, capped to the top-MaxQueries
+// combinations *by ranking score* rather than by generation order (the
+// pre-fix behaviour silently dropped high-score combinations whenever
+// the raw product exceeded the cap).
+
+package answer
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// alternative is one executable choice for a single extracted triple: a
+// set of SPARQL patterns plus its §2.3.1 score factor.
+type alternative struct {
+	patterns []rdf.Triple
+	score    float64
+}
+
+// topCombos returns up to k combinations (one alternative per triple)
+// and whether the full product was truncated. When the product fits
+// within k every combination is returned; otherwise the k best by score
+// product are enumerated best-first, so no high-score combination can
+// be displaced by a low-score one. Each perTriple list is (stably)
+// sorted by descending score in place as a side effect.
+func topCombos(perTriple [][]alternative, k int) ([][]alternative, bool) {
+	for _, alts := range perTriple {
+		sort.SliceStable(alts, func(i, j int) bool { return alts[i].score > alts[j].score })
+	}
+
+	truncated := false
+	total := 1
+	for _, alts := range perTriple {
+		total *= len(alts)
+		if total > k {
+			truncated = true
+			break
+		}
+	}
+
+	if !truncated {
+		combos := [][]alternative{{}}
+		for _, alts := range perTriple {
+			next := make([][]alternative, 0, len(combos)*len(alts))
+			for _, combo := range combos {
+				for _, alt := range alts {
+					extended := make([]alternative, len(combo)+1)
+					copy(extended, combo)
+					extended[len(combo)] = alt
+					next = append(next, extended)
+				}
+			}
+			combos = next
+		}
+		return combos, false
+	}
+
+	// Best-first enumeration over the score-sorted lists: pop the
+	// highest-scoring index vector, emit it, push its successors (one
+	// index advanced). Advancing any index moves down a descending
+	// list, so the score product is non-increasing along every edge and
+	// the k pops are exactly the k best combinations.
+	dims := len(perTriple)
+	comboScore := func(idx []int) float64 {
+		s := 1.0
+		for d, i := range idx {
+			s *= perTriple[d][i].score
+		}
+		return s
+	}
+	h := &comboHeap{}
+	start := make([]int, dims)
+	heap.Push(h, comboState{idx: start, score: comboScore(start)})
+	visited := map[string]bool{packIdx(start): true}
+
+	combos := make([][]alternative, 0, k)
+	for len(combos) < k && h.Len() > 0 {
+		st := heap.Pop(h).(comboState)
+		combo := make([]alternative, dims)
+		for d, i := range st.idx {
+			combo[d] = perTriple[d][i]
+		}
+		combos = append(combos, combo)
+		for d := 0; d < dims; d++ {
+			if st.idx[d]+1 >= len(perTriple[d]) {
+				continue
+			}
+			nidx := make([]int, dims)
+			copy(nidx, st.idx)
+			nidx[d]++
+			if key := packIdx(nidx); !visited[key] {
+				visited[key] = true
+				heap.Push(h, comboState{idx: nidx, score: comboScore(nidx)})
+			}
+		}
+	}
+	return combos, true
+}
+
+// packIdx encodes an index vector as a map key (two bytes per
+// dimension; alternative lists are tiny).
+func packIdx(idx []int) string {
+	b := make([]byte, 2*len(idx))
+	for d, i := range idx {
+		b[2*d] = byte(i)
+		b[2*d+1] = byte(i >> 8)
+	}
+	return string(b)
+}
+
+type comboState struct {
+	idx   []int
+	score float64
+}
+
+// comboHeap is a max-heap on score with a lexicographic index
+// tie-break, keeping the enumeration (and therefore the truncation
+// boundary among equal-score combinations) deterministic.
+type comboHeap []comboState
+
+func (h comboHeap) Len() int { return len(h) }
+func (h comboHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	for d := range h[i].idx {
+		if h[i].idx[d] != h[j].idx[d] {
+			return h[i].idx[d] < h[j].idx[d]
+		}
+	}
+	return false
+}
+func (h comboHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *comboHeap) Push(x any)   { *h = append(*h, x.(comboState)) }
+func (h *comboHeap) Pop() any {
+	old := *h
+	n := len(old)
+	st := old[n-1]
+	*h = old[:n-1]
+	return st
+}

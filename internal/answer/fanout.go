@@ -1,0 +1,108 @@
+// Concurrent candidate fan-out with deterministic first-winner
+// semantics.
+//
+// §2.3 executes the ranked candidate queries until the first one yields
+// a type-conforming answer set. The store and the ID-space executor are
+// safe for parallel readers, so the loop can speculate: a bounded worker
+// pool executes candidates out of order, but their outcomes are
+// *committed* strictly in rank order — candidate i's bookkeeping
+// (Executed, Raw, Answers, Err) is applied only once every candidate
+// j < i has been committed without winning. The first committed
+// candidate that wins stops the pool: indices past the winner are never
+// committed (their speculative results are discarded) and in-flight
+// executions are cancelled through the context handed to
+// sparql.ExecuteCtx. The observable Result is therefore byte-identical
+// to sequential execution, which is also exactly what a 1-worker pool
+// degenerates to.
+
+package answer
+
+import (
+	"context"
+	"sync"
+)
+
+// runRanked executes exec(ctx, i) for every i in [0, n) across at most
+// `workers` goroutines and calls commit(i, v) strictly in index order
+// as outcomes become available. commit returning true declares i the
+// winner: the shared context is cancelled, no further index is handed
+// out, and no index past the winner is ever committed. Returns the
+// winner's index, or -1 when every candidate was committed without a
+// win.
+//
+// exec must be safe for concurrent use and must not touch state commit
+// writes; commit runs serialized (under the pool mutex) and is the only
+// place outcomes become visible.
+func runRanked[T any](workers, n int, exec func(ctx context.Context, i int) T, commit func(i int, v T) bool) int {
+	if n == 0 {
+		return -1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Sequential reference semantics: execute and commit in rank
+		// order, stopping at the first winner.
+		ctx := context.Background()
+		for i := 0; i < n; i++ {
+			if commit(i, exec(ctx, i)) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		mu      sync.Mutex
+		next    int // next index to hand to a worker
+		cursor  int // next index to commit
+		winner  = -1
+		results = make([]T, n)
+		done    = make([]bool, n)
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if winner >= 0 || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				v := exec(ctx, i)
+
+				mu.Lock()
+				if winner >= 0 {
+					mu.Unlock()
+					return
+				}
+				results[i], done[i] = v, true
+				// Advance the commit frontier: everything resolved and
+				// contiguous from the cursor commits now, in order.
+				for cursor < n && done[cursor] {
+					if commit(cursor, results[cursor]) {
+						winner = cursor
+						cancel()
+						break
+					}
+					cursor++
+				}
+				if winner >= 0 {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return winner
+}

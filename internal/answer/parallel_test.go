@@ -1,0 +1,410 @@
+package answer
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/propmap"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/triplex"
+)
+
+// --- runRanked unit tests ---
+
+// TestRunRankedCommitOrder: commits happen strictly in index order, the
+// winner is the first index whose commit returns true, and nothing past
+// the winner is ever committed.
+func TestRunRankedCommitOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		const n, win = 100, 60
+		var order []int
+		var executed atomic.Int64
+		winner := runRanked(workers, n,
+			func(_ context.Context, i int) int { executed.Add(1); return i },
+			func(i, v int) bool {
+				if v != i {
+					t.Errorf("outcome mismatch: commit(%d, %d)", i, v)
+				}
+				order = append(order, i)
+				return i == win
+			})
+		if winner != win {
+			t.Fatalf("workers=%d: winner = %d, want %d", workers, winner, win)
+		}
+		if len(order) != win+1 {
+			t.Fatalf("workers=%d: %d commits, want %d", workers, len(order), win+1)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("workers=%d: commit order %v", workers, order)
+			}
+		}
+		if got := executed.Load(); got < win+1 {
+			t.Fatalf("workers=%d: executed %d < %d", workers, got, win+1)
+		}
+	}
+}
+
+// TestRunRankedNoWinner commits every index when nothing wins.
+func TestRunRankedNoWinner(t *testing.T) {
+	for _, workers := range []int{1, 3, 9} {
+		var committed atomic.Int64
+		winner := runRanked(workers, 50,
+			func(_ context.Context, i int) int { return i },
+			func(i, v int) bool { committed.Add(1); return false })
+		if winner != -1 {
+			t.Fatalf("winner = %d, want -1", winner)
+		}
+		if committed.Load() != 50 {
+			t.Fatalf("committed = %d, want 50", committed.Load())
+		}
+	}
+}
+
+// --- differential: parallel Extract ≡ sequential Extract ---
+
+// candSnap is the comparable projection of one candidate's bookkeeping.
+type candSnap struct {
+	SPARQL   string
+	Score    float64
+	Executed bool
+	Raw      int
+	Answers  string
+	Err      string
+}
+
+type resultSnap struct {
+	Answers    string
+	WinnerIdx  int
+	Truncated  bool
+	Candidates []candSnap
+}
+
+func snapshot(res *Result) resultSnap {
+	s := resultSnap{WinnerIdx: -1, Truncated: res.Truncated, Answers: termsKey(res.Answers)}
+	for i := range res.Candidates {
+		cq := &res.Candidates[i]
+		if res.Winning == cq {
+			s.WinnerIdx = i
+		}
+		errStr := ""
+		if cq.Err != nil {
+			errStr = cq.Err.Error()
+		}
+		s.Candidates = append(s.Candidates, candSnap{
+			SPARQL:   cq.SPARQL,
+			Score:    cq.Score,
+			Executed: cq.Executed,
+			Raw:      cq.Raw,
+			Answers:  termsKey(cq.Answers),
+			Err:      errStr,
+		})
+	}
+	return s
+}
+
+func termsKey(ts []rdf.Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// synthMapping builds a randomized §2.2 mapping over the KB: one or two
+// triples whose predicate candidate sets are random samples of the
+// ontology with random similarity/frequency signals, so the Cartesian
+// product, ranking and type filter all get exercised.
+func synthMapping(r *rand.Rand, k *kb.KB, kind triplex.ExpectedKind, ground bool) *propmap.Mapping {
+	props := k.Properties()
+	classes := k.Classes
+	entities := k.Store.Match(rdf.Triple{P: rdf.Type(), O: rdf.Ont("Person")})
+	entities = append(entities, k.Store.Match(rdf.Triple{P: rdf.Type(), O: rdf.Ont("City")})...)
+	pickEntity := func() rdf.Term { return entities[r.Intn(len(entities))].S }
+
+	candidates := func() []propmap.PropCandidate {
+		n := 1 + r.Intn(5)
+		out := make([]propmap.PropCandidate, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, propmap.PropCandidate{
+				Property: props[r.Intn(len(props))],
+				Sim:      0.5 + r.Float64()/2,
+				Freq:     r.Intn(40),
+				Source:   propmap.SourceStrSim,
+			})
+		}
+		return out
+	}
+
+	mp := &propmap.Mapping{Extraction: &triplex.Extraction{
+		Question: "synthetic differential question",
+		Expected: triplex.Expected{Kind: kind},
+	}}
+	if r.Intn(2) == 0 && len(classes) > 0 {
+		mp.Triples = append(mp.Triples, propmap.MappedTriple{
+			SubjectVar: "x",
+			Class:      classes[r.Intn(len(classes))].Term,
+		})
+	}
+	mt := propmap.MappedTriple{Predicates: candidates()}
+	if ground {
+		// Both slots ground (the ASK shape).
+		mt.Subject = pickEntity()
+		mt.Object = pickEntity()
+	} else if r.Intn(2) == 0 {
+		mt.SubjectVar = "x"
+		mt.Object = pickEntity()
+	} else {
+		mt.Subject = pickEntity()
+		mt.ObjectVar = "x"
+	}
+	mp.Triples = append(mp.Triples, mt)
+	return mp
+}
+
+// TestParallelMatchesSequentialDifferential is the tentpole's contract:
+// over randomized KBs, mappings and parallelism levels, the parallel
+// Extract must produce a Result byte-identical to sequential execution
+// — same winner, same answers, and the same per-candidate bookkeeping.
+// Run under -race this also stresses the commit protocol and the
+// parallel-reader guarantees of the store.
+func TestParallelMatchesSequentialDifferential(t *testing.T) {
+	kbs := []*kb.KB{
+		kb.Build(kb.Config{Seed: 11, SyntheticPersons: 40, SyntheticCities: 10, SyntheticBooks: 20}),
+		kb.Build(kb.Config{Seed: 29, SyntheticPersons: 120, SyntheticCities: 30, SyntheticBooks: 60}),
+	}
+	kinds := []triplex.ExpectedKind{
+		triplex.ExpectAny, triplex.ExpectPerson, triplex.ExpectPlace,
+		triplex.ExpectDate, triplex.ExpectNumeric,
+	}
+	r := rand.New(rand.NewSource(7))
+	for ki, k := range kbs {
+		for trial := 0; trial < 24; trial++ {
+			kind := kinds[trial%len(kinds)]
+			mp := synthMapping(r, k, kind, false)
+			maxQ := 256
+			if trial%3 == 0 {
+				maxQ = 4 // exercise the scored-truncation path too
+			}
+			cfg := Config{MaxQueries: maxQ, EnableAggregation: kind == triplex.ExpectNumeric}
+
+			cfg.Parallelism = 1
+			seqRes, seqErr := New(k, cfg).Extract(mp)
+			for _, p := range []int{2, 4, 8} {
+				cfg.Parallelism = p
+				parRes, parErr := New(k, cfg).Extract(mp)
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("kb=%d trial=%d p=%d: err mismatch: %v vs %v", ki, trial, p, seqErr, parErr)
+				}
+				if seqErr != nil {
+					if seqErr.Error() != parErr.Error() {
+						t.Fatalf("kb=%d trial=%d p=%d: err text mismatch: %v vs %v", ki, trial, p, seqErr, parErr)
+					}
+					continue
+				}
+				want, got := snapshot(seqRes), snapshot(parRes)
+				if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+					t.Fatalf("kb=%d trial=%d p=%d kind=%v:\nsequential: %+v\nparallel:   %+v",
+						ki, trial, p, kind, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialBoolean is the same differential over
+// the ASK path (§6 boolean extension).
+func TestParallelMatchesSequentialBoolean(t *testing.T) {
+	k := kb.Build(kb.Config{Seed: 13, SyntheticPersons: 60, SyntheticCities: 15, SyntheticBooks: 30})
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		mp := synthMapping(r, k, triplex.ExpectBoolean, true)
+		cfg := Config{MaxQueries: 256, EnableBoolean: true, Parallelism: 1}
+		seqRes, seqErr := New(k, cfg).Extract(mp)
+		for _, p := range []int{2, 4, 8} {
+			cfg.Parallelism = p
+			parRes, parErr := New(k, cfg).Extract(mp)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("trial=%d p=%d: err mismatch: %v vs %v", trial, p, seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			want, got := snapshot(seqRes), snapshot(parRes)
+			if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+				t.Fatalf("trial=%d p=%d:\nsequential: %+v\nparallel:   %+v", trial, p, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelExtractConcurrentCallers: one Extractor shared by many
+// goroutines (the qald-eval -workers layer) stays race-free and
+// deterministic.
+func TestParallelExtractConcurrentCallers(t *testing.T) {
+	k, _ := setup(t)
+	ex := New(k, Config{MaxQueries: 256, Parallelism: 4})
+	mp := mapped(t, "Where did Abraham Lincoln die?")
+	ref, err := ex.Extract(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%+v", snapshot(ref))
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := ex.Extract(mp)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if got := fmt.Sprintf("%+v", snapshot(res)); got != want {
+				errCh <- fmt.Errorf("diverged:\nwant %s\ngot  %s", want, got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// --- regression: ranking truncation (MaxQueries after scoring) ---
+
+// TestTruncationKeepsTopScored: with candidates generated in ascending
+// score order and MaxQueries smaller than the product, the cap must
+// keep the *highest*-scoring combinations (the old generation-order cap
+// kept the lowest ones).
+func TestTruncationKeepsTopScored(t *testing.T) {
+	k, _ := setup(t)
+	props := k.Properties()
+	lincoln := rdf.Res("Abraham_Lincoln")
+	// Ascending scores: generation order is worst-first.
+	cands := make([]propmap.PropCandidate, 0, 6)
+	for i := 0; i < 6; i++ {
+		cands = append(cands, propmap.PropCandidate{
+			Property: props[i%len(props)],
+			Sim:      0.5,
+			Freq:     i * 10, // RankScore rises with i
+			Source:   propmap.SourceStrSim,
+		})
+	}
+	mp := &propmap.Mapping{
+		Extraction: &triplex.Extraction{Question: "truncation regression", Expected: triplex.Expected{Kind: triplex.ExpectAny}},
+		Triples:    []propmap.MappedTriple{{Subject: lincoln, ObjectVar: "x", Predicates: cands}},
+	}
+	res, err := New(k, Config{MaxQueries: 3, Parallelism: 1}).Extract(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("Truncated flag not set")
+	}
+	if len(res.Candidates) > 3 {
+		t.Fatalf("cap not applied: %d candidates", len(res.Candidates))
+	}
+	// Every surviving candidate must score at least as high as the best
+	// dropped one: the top Freq values are 50, 40, 30 (scores (f+1)*1.0).
+	minKept := res.Candidates[len(res.Candidates)-1].Score
+	if minKept < 31 {
+		t.Fatalf("low-score combination survived truncation: min kept score = %v", minKept)
+	}
+	if res.Candidates[0].Score < res.Candidates[len(res.Candidates)-1].Score {
+		t.Fatal("candidates not in rank order")
+	}
+}
+
+// TestNoTruncationFlag: when the product fits, Truncated stays false
+// and every combination is generated.
+func TestNoTruncationFlag(t *testing.T) {
+	k, _ := setup(t)
+	res, err := New(k, DefaultConfig()).Extract(mapped(t, "Where did Abraham Lincoln die?"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("Truncated set on an untruncated product")
+	}
+}
+
+// --- regression: boolean path must not turn errors into "false" ---
+
+// brokenQuery yields a candidate whose execution always errors
+// (sparql.Execute rejects a nil query).
+func brokenQuery() CandidateQuery {
+	return CandidateQuery{Query: nil, SPARQL: "broken", Score: 99}
+}
+
+func askQuery(k *kb.KB, s, p, o rdf.Term, score float64) CandidateQuery {
+	q := &sparql.Query{Form: sparql.FormAsk, Limit: -1,
+		Patterns: []rdf.Triple{{S: s, P: p, O: o}}}
+	return CandidateQuery{Query: q, SPARQL: q.String(), Score: score}
+}
+
+func TestBooleanAllErrorsStaysUnanswered(t *testing.T) {
+	k, _ := setup(t)
+	for _, p := range []int{1, 4} {
+		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
+		res := &Result{Candidates: []CandidateQuery{brokenQuery(), brokenQuery()}}
+		if _, err := e.executeBoolean(res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Winning != nil || len(res.Answers) != 0 {
+			t.Fatalf("p=%d: all-error boolean question answered %v", p, res.Answers)
+		}
+		for i := range res.Candidates {
+			if !res.Candidates[i].Executed || res.Candidates[i].Err == nil {
+				t.Fatalf("p=%d: candidate %d bookkeeping: %+v", p, i, res.Candidates[i])
+			}
+		}
+	}
+}
+
+func TestBooleanFallbackSkipsErroredCandidates(t *testing.T) {
+	k, _ := setup(t)
+	// Candidate 0 errors; candidate 1 executes and is false: the false
+	// fallback must come from candidate 1, not the errored one.
+	falseAsk := askQuery(k, rdf.Res("Abraham_Lincoln"), rdf.Ont("author"), rdf.Res("Berlin"), 1)
+	for _, p := range []int{1, 4} {
+		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
+		res := &Result{Candidates: []CandidateQuery{brokenQuery(), falseAsk}}
+		if _, err := e.executeBoolean(res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Winning == nil {
+			t.Fatalf("p=%d: executed-false question should answer false", p)
+		}
+		if res.Winning != &res.Candidates[1] {
+			t.Fatalf("p=%d: fallback committed to the errored candidate", p)
+		}
+		if res.Answers[0].Value != "false" {
+			t.Fatalf("p=%d: answers = %v", p, res.Answers)
+		}
+	}
+}
+
+func TestBooleanTrueStillWinsPastErrors(t *testing.T) {
+	k, _ := setup(t)
+	trueAsk := askQuery(k, rdf.Res("The_Time_Machine"), rdf.Ont("author"), rdf.Res("H._G._Wells"), 1)
+	for _, p := range []int{1, 4} {
+		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
+		res := &Result{Candidates: []CandidateQuery{brokenQuery(), trueAsk}}
+		if _, err := e.executeBoolean(res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Winning != &res.Candidates[1] || res.Answers[0].Value != "true" {
+			t.Fatalf("p=%d: winning=%v answers=%v", p, res.Winning, res.Answers)
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	EnableBoolean      bool
 	EnableAggregation  bool
 	EnableSuperlatives bool
+
+	// Parallelism bounds the §2.3 candidate-query fan-out (0 =
+	// GOMAXPROCS, 1 = sequential). Answers are identical at every
+	// setting; see internal/answer's commit protocol.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -111,6 +116,7 @@ func New(cfg Config) *System {
 	ansCfg.DisableTypeCheck = cfg.DisableTypeCheck
 	ansCfg.EnableBoolean = cfg.EnableBoolean
 	ansCfg.EnableAggregation = cfg.EnableAggregation
+	ansCfg.Parallelism = cfg.Parallelism
 	s.extractor = answer.New(k, ansCfg)
 	s.triplexOpts = triplex.Options{Superlatives: cfg.EnableSuperlatives}
 	return s

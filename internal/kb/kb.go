@@ -40,6 +40,13 @@ type Class struct {
 }
 
 // KB bundles the triple store with ontology indexes the pipeline needs.
+//
+// A KB is immutable once Build returns: the ontology slices and local-
+// name maps are never written afterwards, and the store is only read.
+// It is therefore safe to share one KB across goroutines — both the
+// candidate-query fan-out inside internal/answer and the question-level
+// workers of internal/qald rely on this (the store additionally
+// serializes any later writer against its parallel readers).
 type KB struct {
 	Store *store.Store
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/kb"
@@ -62,11 +64,34 @@ func Gold(k *kb.KB, q Question) ([]rdf.Term, error) {
 
 // Evaluate runs the system over the questions and scores it as §3 does.
 func Evaluate(s *core.System, questions []Question) (*Report, error) {
+	return EvaluateWorkers(s, questions, 1)
+}
+
+// EvaluateWorkers evaluates with question-level parallelism: up to
+// `workers` goroutines answer questions concurrently (the pipeline is
+// read-only after construction and the store supports parallel
+// readers), while the report is aggregated in question order, so it is
+// identical at every worker count. This layer composes with the
+// candidate-query fan-out inside internal/answer.
+func EvaluateWorkers(s *core.System, questions []Question, workers int) (*Report, error) {
 	rep := &Report{Total: len(questions)}
-	for _, q := range questions {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(questions) {
+		workers = len(questions)
+	}
+
+	results := make([]QuestionResult, len(questions))
+	errs := make([]error, len(questions))
+	var failed atomic.Bool // fail fast: a gold error stops further work
+	evalOne := func(i int) {
+		q := questions[i]
 		gold, err := Gold(s.KB, q)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			failed.Store(true)
+			return
 		}
 		res := s.Answer(q.Text)
 		qr := QuestionResult{
@@ -78,8 +103,44 @@ func Evaluate(s *core.System, questions []Question) (*Report, error) {
 			WinningSPARQL: res.WinningSPARQL(),
 		}
 		if qr.Answered {
-			rep.Answered++
 			qr.Correct = sameTermSet(res.Answers, gold)
+		}
+		results[i] = qr
+	}
+
+	if workers <= 1 {
+		for i := range questions {
+			evalOne(i)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(questions) || failed.Load() {
+						return
+					}
+					evalOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := range questions {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		qr := results[i]
+		if qr.Answered {
+			rep.Answered++
 			if qr.Correct {
 				rep.Correct++
 			}

@@ -22,6 +22,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"sort"
@@ -58,10 +59,25 @@ func (r *Result) Column(name string) []rdf.Term {
 
 // Execute runs the query against the store.
 func Execute(st *store.Store, q *Query) (*Result, error) {
+	return ExecuteCtx(context.Background(), st, q)
+}
+
+// ExecuteCtx runs the query against the store, honouring cancellation:
+// the executor checks ctx between join steps (per pattern of the
+// required BGP, per UNION branch, per OPTIONAL block and before the
+// final sort/projection) and returns ctx.Err() as soon as it observes a
+// cancelled context. Speculative callers — the concurrent candidate
+// fan-out in internal/answer — use this to abandon in-flight losers
+// once a higher-ranked candidate has won.
+func ExecuteCtx(ctx context.Context, st *store.Store, q *Query) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("sparql: nil query")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ex := compile(st, q)
+	ex.ctx = ctx
 	return ex.run()
 }
 
@@ -89,7 +105,8 @@ type cpat struct {
 type executor struct {
 	st    *store.Store
 	q     *Query
-	terms []rdf.Term // store.TermsView(): terms[id-1] materialises an ID
+	ctx   context.Context // cancellation, checked between join steps
+	terms []rdf.Term      // store.TermsView(): terms[id-1] materialises an ID
 
 	varCols  map[string]int
 	varNames []string // column -> variable name
@@ -113,7 +130,8 @@ func (ex *executor) term(id store.ID) rdf.Term {
 
 // compile builds the column layout and resolves all constants to IDs.
 func compile(st *store.Store, q *Query) *executor {
-	ex := &executor{st: st, q: q, terms: st.TermsView(), varCols: map[string]int{}}
+	ex := &executor{st: st, q: q, ctx: context.Background(),
+		terms: st.TermsView(), varCols: map[string]int{}}
 	// Column order must match Query.Vars() so SELECT * projects in the
 	// documented order of first appearance.
 	for _, v := range q.Vars() {
@@ -286,6 +304,9 @@ func (ex *executor) joinAll(rows rowset, pats []cpat) rowset {
 		}
 	}
 	for len(remaining) > 0 && rows.n > 0 {
+		if ex.ctx.Err() != nil {
+			return rows
+		}
 		bestIdx := ex.pickPattern(remaining, bound, anyBound, rows.row(0))
 		cp := remaining[bestIdx]
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
@@ -375,7 +396,7 @@ func (ex *executor) evalBGP(pats []cpat, filters []filterCols) rowset {
 	anyBound := false
 
 	for len(remaining) > 0 {
-		if rows.n == 0 {
+		if rows.n == 0 || ex.ctx.Err() != nil {
 			return rows
 		}
 		bestIdx := ex.pickPattern(remaining, bound, anyBound, rows.row(0))
@@ -438,6 +459,9 @@ func (ex *executor) extendRow(r []store.ID, pats []cpat) rowset {
 
 func (ex *executor) run() (*Result, error) {
 	q := ex.q
+	if err := ex.ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Filters whose variables are all introduced by the required BGP run
 	// inside it (pushdown); the rest run after UNION/OPTIONAL.
@@ -470,6 +494,9 @@ func (ex *executor) run() (*Result, error) {
 	for _, block := range ex.unions {
 		next := rowset{stride: ex.ncols}
 		for _, branch := range block {
+			if err := ex.ctx.Err(); err != nil {
+				return nil, err
+			}
 			for i := 0; i < rows.n; i++ {
 				ext := ex.extendRow(rows.row(i), branch)
 				next.buf = append(next.buf, ext.buf...)
@@ -481,6 +508,9 @@ func (ex *executor) run() (*Result, error) {
 
 	// OPTIONAL blocks: left join.
 	for _, opt := range ex.optionals {
+		if err := ex.ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := rowset{stride: ex.ncols}
 		for i := 0; i < rows.n; i++ {
 			r := rows.row(i)
@@ -501,6 +531,12 @@ func (ex *executor) run() (*Result, error) {
 		for _, fc := range late {
 			ex.applyFilter(&rows, fc, scratch)
 		}
+	}
+
+	// A join loop above may have bailed out mid-way on cancellation; the
+	// partial rows must not be reported as a (wrong) result.
+	if err := ex.ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	if q.Form == FormAsk {

@@ -84,12 +84,15 @@ func PropertyScore(word, propertyName string) float64 {
 	}
 	// Require that the match plausibly aligns with some identifier word:
 	// at least one camelCase part of the candidate must share a 3+ letter
-	// prefix (or stem overlap) with the query word.
+	// prefix (or stem overlap) with the query word. The stem-overlap
+	// arm demands at least one shared letter: for a one-letter word
+	// len(wl)-1 is 0, which every candidate trivially satisfies,
+	// letting any accidental subsequence escape the damping.
 	wl := strings.ToLower(word)
 	aligned := false
 	for _, part := range SplitIdentifier(propertyName) {
 		p := strings.ToLower(part)
-		if sharedPrefix(wl, p) >= 3 || sharedPrefix(wl, p) >= len(wl)-1 {
+		if sp := sharedPrefix(wl, p); sp >= 3 || (sp >= 1 && sp >= len(wl)-1) {
 			aligned = true
 			break
 		}

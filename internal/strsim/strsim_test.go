@@ -67,6 +67,37 @@ func TestPropertyScoreTaxiDriverGuard(t *testing.T) {
 	}
 }
 
+// TestPropertyScoreAlignmentGuard pins the alignment damping,
+// including the degenerate one-letter case: for a one-letter word the
+// old stem-overlap threshold len(w)-1 was 0, so *any* candidate counted
+// as aligned and escaped the 0.25 damping.
+func TestPropertyScoreAlignmentGuard(t *testing.T) {
+	cases := []struct {
+		word, candidate string
+		want            float64
+	}{
+		// One-letter words never word-boundary-match a longer part and
+		// share no prefix: the subsequence hit must be damped.
+		{"a", "banana", 1.0 * 0.25},
+		{"e", "height", 1.0 * 0.25},
+		// Exact word-boundary containment stays a perfect match.
+		{"place", "birthPlace", 1.0},
+		{"a", "a", 1.0},
+		// 3+ letter shared prefix keeps the full subsequence score.
+		{"height", "heights", 1.0},
+		// Short-word stem overlap still counts when at least one letter
+		// is actually shared (sharedPrefix("do","dog") = 2 >= 1).
+		{"dog", "dogma", 1.0},
+		// Two-letter word with no shared prefix: damped (unchanged).
+		{"it", "orbit", 1.0 * 0.25},
+	}
+	for _, c := range cases {
+		if got := PropertyScore(c.word, c.candidate); got != c.want {
+			t.Errorf("PropertyScore(%q, %q) = %v, want %v", c.word, c.candidate, got, c.want)
+		}
+	}
+}
+
 func TestPropertyScoreRanksIntendedProperty(t *testing.T) {
 	// "written" must prefer writer/author-like names over unrelated ones.
 	props := []string{"writer", "width", "winner", "taxiDriver", "runtime"}

@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
-# Runs the tentpole benchmarks (ID-space engine vs. the retained
-# term-space reference path) and emits BENCH_PR1.json with ns/op and
-# allocs/op per benchmark, so later PRs have a perf trajectory to
-# compare against.
+# Runs the tentpole benchmarks — the ID-space engine vs. the retained
+# term-space reference path (PR 1) and the concurrent candidate fan-out
+# vs. sequential rank-order execution (PR 2) — and emits BENCH_PR2.json
+# with ns/op and allocs/op per benchmark, so later PRs have a perf
+# trajectory to compare against.
+#
+# The JSON records gomaxprocs: the Extract{Sequential,Parallel*}
+# comparison only shows a wall-clock gap on multi-core hosts (the
+# commit protocol guarantees identical results at every setting; on a
+# single-core host the parallel numbers sit at parity plus scheduling
+# overhead).
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkAnswerThroughput|BenchmarkTable2QALDEvaluation' \
+  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkAnswerThroughput|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax)$|BenchmarkQALDEvalWorkers4' \
   -benchmem -benchtime="$benchtime" .)"
 
 echo "$raw"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$gomaxprocs" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -32,7 +41,7 @@ BEGIN { n = 0 }
     }
 }
 END {
-    printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date
+    printf "{\n  \"generated\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", date, gmp
     for (i = 0; i < n; i++) {
         printf "    \"%s\": {\"ns_op\": %s", names[i], nss[i]
         if (bs[i] != "") printf ", \"bytes_op\": %s", bs[i]

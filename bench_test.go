@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/answer"
 	"repro/internal/baseline"
@@ -292,7 +293,7 @@ func BenchmarkSPARQLTwoPatternJoin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sparql.Execute(k.Store, q)
-		if err != nil || len(res.Solutions) != 5 {
+		if err != nil || res.Len() != 5 {
 			b.Fatalf("res=%v err=%v", res, err)
 		}
 	}
@@ -409,7 +410,7 @@ func benchmarkQuery(b *testing.B, src string, exec func(*store.Store, *sparql.Qu
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := exec(k.Store, q)
-		if err != nil || len(res.Solutions) == 0 {
+		if err != nil || res.Len() == 0 {
 			b.Fatalf("res=%v err=%v", res, err)
 		}
 	}
@@ -621,6 +622,85 @@ func BenchmarkQALDEvalWorkers4(b *testing.B) {
 	b.ReportMetric(rep.Recall, "recall")
 	b.ReportMetric(rep.F1, "F1")
 }
+
+// --- PR 3 tentpole benchmarks: wait-free reads under write load ---
+//
+// The pair below is the perf contract of the snapshot read model: the
+// same 3-pattern join on an idle store vs. with a bulk AddAll/RemoveAll
+// churn loop running concurrently. Under the old RWMutex store a reader
+// arriving mid-batch stalled for the remainder of the batch (and queued
+// behind further writers); with snapshot pinning the reader's only cost
+// is CPU sharing with the writer, so the under-load mean must stay
+// within 2× of idle (BENCH_PR3.json records both).
+
+func underLoadStore(b *testing.B) *store.Store {
+	b.Helper()
+	k := kb.Build(kb.Config{Seed: 13,
+		SyntheticPersons: 2000, SyntheticCities: 400, SyntheticBooks: 1000})
+	return k.Store
+}
+
+func churnBatch(n int) []rdf.Triple {
+	out := make([]rdf.Triple, n)
+	for i := range out {
+		out[i] = rdf.Triple{
+			S: rdf.Res(fmt.Sprintf("Churn%d", i)),
+			P: rdf.Ont("churn"),
+			O: rdf.NewInteger(int64(i)),
+		}
+	}
+	return out
+}
+
+func benchmarkJoinMaybeUnderLoad(b *testing.B, load bool) {
+	st := underLoadStore(b)
+	q := sparql.MustParse(benchJoin3)
+	var (
+		stop chan struct{}
+		done chan struct{}
+	)
+	if load {
+		stop, done = make(chan struct{}), make(chan struct{})
+		batch := churnBatch(1024)
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st.AddAll(batch)
+				st.RemoveAll(batch)
+				// Pace the loader to a bounded duty cycle so the
+				// benchmark measures stall behaviour, not raw CPU
+				// contention on single-core hosts.
+				time.Sleep(4 * time.Millisecond)
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.Execute(st, q)
+		if err != nil || res.Len() == 0 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+	b.StopTimer()
+	if load {
+		close(stop)
+		<-done
+	}
+}
+
+// BenchmarkBGPJoinIdle is the baseline: the 3-pattern join with no
+// concurrent writers.
+func BenchmarkBGPJoinIdle(b *testing.B) { benchmarkJoinMaybeUnderLoad(b, false) }
+
+// BenchmarkBGPJoinUnderLoad runs the identical join while a bulk
+// AddAll/RemoveAll churn loop writes 1024-triple batches concurrently.
+func BenchmarkBGPJoinUnderLoad(b *testing.B) { benchmarkJoinMaybeUnderLoad(b, true) }
 
 // BenchmarkSnapshotRoundTrip measures the binary snapshot dump/load.
 func BenchmarkSnapshotRoundTrip(b *testing.B) {

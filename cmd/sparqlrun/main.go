@@ -41,14 +41,15 @@ func main() {
 		return
 	}
 	fmt.Println(strings.Join(res.Vars, "\t"))
-	for _, sol := range res.Solutions {
-		row := make([]string, len(res.Vars))
-		for i, v := range res.Vars {
-			if t, ok := sol[v]; ok {
-				row[i] = t.String()
+	row := make([]string, len(res.Vars))
+	for i, n := 0, res.Len(); i < n; i++ {
+		for c := range res.Vars {
+			row[c] = ""
+			if t, ok := res.TermAt(i, c); ok {
+				row[c] = t.String()
 			}
 		}
 		fmt.Println(strings.Join(row, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "%d solution(s)\n", len(res.Solutions))
+	fmt.Fprintf(os.Stderr, "%d solution(s)\n", res.Len())
 }

@@ -50,8 +50,8 @@ func TestKBDumpLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r1.Solutions) != len(r2.Solutions) {
-		t.Errorf("query disagreement: %d vs %d", len(r1.Solutions), len(r2.Solutions))
+	if len(r1.Solutions()) != len(r2.Solutions()) {
+		t.Errorf("query disagreement: %d vs %d", len(r1.Solutions()), len(r2.Solutions()))
 	}
 }
 

@@ -245,9 +245,17 @@ func (e *Extractor) executeSelect(res *Result, expected triplex.Expected) {
 		if err != nil {
 			return execOutcome{err: err}
 		}
-		col := r.Column("x")
-		out := execOutcome{raw: len(col)}
-		for _, term := range col {
+		// One pass over the columnar rows: no Binding maps, no
+		// intermediate column slice — a term materialises (slice read,
+		// no allocation) only when its row binds the answer variable.
+		var out execOutcome
+		xcol := r.VarIndex("x")
+		for row, n := 0, r.Len(); row < n; row++ {
+			term, ok := r.TermAt(row, xcol)
+			if !ok {
+				continue
+			}
+			out.raw++
 			if e.cfg.DisableTypeCheck || e.typeMatches(term, expected) {
 				out.answers = append(out.answers, term)
 			}
@@ -346,10 +354,16 @@ func (e *Extractor) executeAggregation(res *Result) {
 			Limit:    -1,
 		}
 		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, countQ)
-		if err != nil || len(r.Solutions) == 0 {
+		if err != nil || r.Len() == 0 || len(r.Vars) == 0 {
 			return aggOutcome{}
 		}
-		count := r.Solutions[0]["x"]
+		// Read the first projected variable of the result layout rather
+		// than assuming a hardcoded name, and treat an unbound slot as
+		// "no count" instead of misreading a zero term.
+		count, bound := r.TermAt(0, 0)
+		if !bound {
+			return aggOutcome{}
+		}
 		if f, ok := count.Float(); !ok || f <= 0 {
 			return aggOutcome{}
 		}

@@ -59,6 +59,8 @@ func Gold(k *kb.KB, q Question) ([]rdf.Term, error) {
 		}
 		return []rdf.Term{rdf.NewTypedLiteral(v, rdf.XSDBoolean)}, nil
 	}
+	// Column reads the columnar result layout directly — one pass over
+	// the flat ID rows, no per-row Binding maps.
 	return res.Column("x"), nil
 }
 

@@ -56,8 +56,8 @@ func TestExecuteCtxBackground(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fmt.Sprintf("%v", want.Solutions) != fmt.Sprintf("%v", got.Solutions) {
-		t.Fatalf("ExecuteCtx diverged from Execute:\n%v\n%v", want.Solutions, got.Solutions)
+	if fmt.Sprintf("%v", want.Solutions()) != fmt.Sprintf("%v", got.Solutions()) {
+		t.Fatalf("ExecuteCtx diverged from Execute:\n%v\n%v", want.Solutions(), got.Solutions())
 	}
 }
 

@@ -9,15 +9,19 @@
 // pattern becomes a cpat of three (constant ID | column) slots. All
 // joins, UNION, OPTIONAL, FILTER, DISTINCT, ORDER BY and COUNT then run
 // over flat []store.ID rows packed into a rowset arena — one contiguous
-// buffer, no per-solution maps, no term copies. Dictionary IDs are
-// translated back to rdf.Term values only when building the final
-// projected Result (and, transiently, when a FILTER or ORDER BY
-// expression needs term semantics), through the lock-free
-// store.TermsView dictionary view.
+// buffer, no per-solution maps, no term copies. The final Result stays
+// columnar too (Result.Rows plus the pinned dictionary view); terms are
+// materialised only when a consumer asks for them (and, transiently,
+// when a FILTER or ORDER BY expression needs term semantics).
 //
-// The public surface (Execute, ExecuteString, Result, Binding) is
-// term-space and unchanged; ID space is an implementation detail of this
-// file.
+// # Snapshot-pinned reads
+//
+// compile pins one immutable store.Snapshot and the whole query runs
+// against it: constant resolution, cardinality estimation, every index
+// scan and the final dictionary view all read the same frozen state.
+// Queries therefore never block behind concurrent bulk loads (the store
+// publishes new snapshots alongside) and never observe a half-applied
+// AddAll batch.
 
 package sparql
 
@@ -32,30 +36,6 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
-
-// Result is the outcome of executing a query.
-type Result struct {
-	// Vars is the projection (resolved for SELECT *).
-	Vars []string
-	// Solutions holds one binding per row, in deterministic order.
-	Solutions []Binding
-	// Boolean is the ASK result.
-	Boolean bool
-	// Form echoes the query form.
-	Form Form
-}
-
-// Column extracts the bound terms of one projected variable across all
-// solutions, skipping rows where the variable is unbound.
-func (r *Result) Column(name string) []rdf.Term {
-	var out []rdf.Term
-	for _, s := range r.Solutions {
-		if t, ok := s[name]; ok {
-			out = append(out, t)
-		}
-	}
-	return out
-}
 
 // Execute runs the query against the store.
 func Execute(st *store.Store, q *Query) (*Result, error) {
@@ -100,13 +80,13 @@ type cpat struct {
 	unknown bool
 }
 
-// executor holds one compiled query: the column layout plus every
-// pattern block pre-resolved to IDs.
+// executor holds one compiled query: the pinned store snapshot, the
+// column layout, and every pattern block pre-resolved to IDs.
 type executor struct {
-	st    *store.Store
+	snap  *store.Snapshot // pinned once; every read of the query uses it
 	q     *Query
 	ctx   context.Context // cancellation, checked between join steps
-	terms []rdf.Term      // store.TermsView(): terms[id-1] materialises an ID
+	terms []rdf.Term      // snap.TermsView(): terms[id-1] materialises an ID
 
 	varCols  map[string]int
 	varNames []string // column -> variable name
@@ -117,21 +97,19 @@ type executor struct {
 	optionals [][]cpat
 }
 
-// term materialises one ID through the cached dictionary view. A
-// concurrent writer may have interned IDs after compile captured the
-// view; any such ID came from a scan that already completed, so a fresh
-// view is guaranteed to cover it.
+// term materialises one ID through the pinned dictionary view. Every ID
+// the query can produce came from the pinned snapshot, so the view is
+// guaranteed to cover it.
 func (ex *executor) term(id store.ID) rdf.Term {
-	if int(id) > len(ex.terms) {
-		ex.terms = ex.st.TermsView()
-	}
 	return ex.terms[id-1]
 }
 
-// compile builds the column layout and resolves all constants to IDs.
+// compile builds the column layout and resolves all constants to IDs,
+// pinning the store snapshot the whole query will read.
 func compile(st *store.Store, q *Query) *executor {
-	ex := &executor{st: st, q: q, ctx: context.Background(),
-		terms: st.TermsView(), varCols: map[string]int{}}
+	snap := st.Snapshot()
+	ex := &executor{snap: snap, q: q, ctx: context.Background(),
+		terms: snap.TermsView(), varCols: map[string]int{}}
 	// Column order must match Query.Vars() so SELECT * projects in the
 	// documented order of first appearance.
 	for _, v := range q.Vars() {
@@ -169,7 +147,7 @@ func (ex *executor) compilePattern(p rdf.Triple) cpat {
 			cp.vars[i] = ex.varCols[t.Value]
 			continue
 		}
-		id, ok := ex.st.Lookup(t)
+		id, ok := ex.snap.Lookup(t)
 		if !ok {
 			cp.unknown = true
 			continue
@@ -246,7 +224,7 @@ func (ex *executor) extendInto(dst *rowset, src *rowset, cp cpat) {
 	for i := 0; i < src.n; i++ {
 		r := src.row(i)
 		pat := substituted(cp, r)
-		ex.st.ForEachMatchIDs(pat, func(s, p, o store.ID) bool {
+		ex.snap.ForEachMatchIDs(pat, func(s, p, o store.ID) bool {
 			nr := dst.push(r)
 			match := [3]store.ID{s, p, o}
 			for pos, col := range cp.vars {
@@ -276,7 +254,7 @@ func (ex *executor) pickPattern(remaining []cpat, bound []bool, anyBound bool, r
 	for i, cp := range remaining {
 		card := 0
 		if !cp.unknown {
-			card = ex.st.EstimateCardinalityIDs(substituted(cp, rep))
+			card = ex.snap.EstimateCardinalityIDs(substituted(cp, rep))
 		}
 		if anyBound && !sharesVar(cp, bound) {
 			card *= 1000
@@ -568,9 +546,10 @@ func (ex *executor) run() (*Result, error) {
 				}
 			}
 		}
+		// The count is a synthesised literal with no dictionary ID, so
+		// the aggregate result is materialised-only (Rows nil).
 		row := Binding{q.Count.As: rdf.NewInteger(int64(n))}
-		return &Result{Form: FormSelect, Vars: []string{q.Count.As},
-			Solutions: []Binding{row}}, nil
+		return newMaterializedResult(FormSelect, []string{q.Count.As}, []Binding{row}), nil
 	}
 
 	// Projection variable list and column mapping (-1: never bound).
@@ -674,7 +653,9 @@ func (ex *executor) run() (*Result, error) {
 	}
 
 	// OFFSET / LIMIT, still in ID space: only the rows that survive the
-	// window are ever materialised to terms.
+	// window are ever exposed, and they stay columnar — the Result keeps
+	// the flat ID rows plus the pinned dictionary view, and terms
+	// materialise only when a consumer reads them.
 	first, last := 0, projected.n
 	if q.Offset > 0 && q.Offset < last {
 		first = q.Offset
@@ -685,19 +666,11 @@ func (ex *executor) run() (*Result, error) {
 		last = first + q.Limit
 	}
 
-	solutions := make([]Binding, 0, last-first)
-	for i := first; i < last; i++ {
-		pr := projected.row(i)
-		row := make(Binding, nproj)
-		for j, id := range pr {
-			if id != 0 {
-				row[vars[j]] = ex.term(id)
-			}
-		}
-		solutions = append(solutions, row)
-	}
-
-	return &Result{Form: FormSelect, Vars: vars, Solutions: solutions}, nil
+	// Copy the surviving window out of the arena so the (possibly much
+	// larger) intermediate buffer can be collected.
+	out := make([]store.ID, (last-first)*nproj)
+	copy(out, projected.buf[first*nproj:last*nproj])
+	return newColumnarResult(vars, out, last-first, ex.terms), nil
 }
 
 // rowLess orders two rows by the projected columns' terms (unbound

@@ -81,12 +81,12 @@ func assertSameResult(t *testing.T, label string, got, want *Result) {
 			t.Fatalf("%s: vars %v, want %v", label, got.Vars, want.Vars)
 		}
 	}
-	if len(got.Solutions) != len(want.Solutions) {
+	if len(got.Solutions()) != len(want.Solutions()) {
 		t.Fatalf("%s: %d solutions, want %d\ngot:  %v\nwant: %v",
-			label, len(got.Solutions), len(want.Solutions), got.Solutions, want.Solutions)
+			label, len(got.Solutions()), len(want.Solutions()), got.Solutions(), want.Solutions())
 	}
-	for i := range got.Solutions {
-		g, w := got.Solutions[i], want.Solutions[i]
+	for i := range got.Solutions() {
+		g, w := got.Solutions()[i], want.Solutions()[i]
 		if len(g) != len(w) {
 			t.Fatalf("%s: row %d = %v, want %v", label, i, g, w)
 		}
@@ -166,10 +166,10 @@ func TestDeferredFilterAfterOptional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Solutions) != 1 {
-		t.Fatalf("got %d solutions: %v", len(res.Solutions), res.Solutions)
+	if len(res.Solutions()) != 1 {
+		t.Fatalf("got %d solutions: %v", len(res.Solutions()), res.Solutions())
 	}
-	if got := res.Solutions[0]["x"]; got != rdf.Res("C") {
+	if got := res.Solutions()[0]["x"]; got != rdf.Res("C") {
 		t.Fatalf("?x = %v, want res:C", got)
 	}
 }

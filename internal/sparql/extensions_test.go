@@ -10,10 +10,10 @@ import (
 func TestCountStar(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT (COUNT(*) AS ?n) WHERE { ?b a dbont:Book }`)
-	if len(res.Solutions) != 1 {
-		t.Fatalf("solutions = %v", res.Solutions)
+	if len(res.Solutions()) != 1 {
+		t.Fatalf("solutions = %v", res.Solutions())
 	}
-	if got := res.Solutions[0]["n"]; got != rdf.NewInteger(4) {
+	if got := res.Solutions()[0]["n"]; got != rdf.NewInteger(4) {
 		t.Errorf("count = %v, want 4", got)
 	}
 	if len(res.Vars) != 1 || res.Vars[0] != "n" {
@@ -24,20 +24,20 @@ func TestCountStar(t *testing.T) {
 func TestCountVarAndDistinct(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT (COUNT(?a) AS ?n) WHERE { ?b dbont:author ?a }`)
-	if res.Solutions[0]["n"] != rdf.NewInteger(4) {
-		t.Errorf("COUNT(?a) = %v, want 4 (one per row)", res.Solutions[0]["n"])
+	if res.Solutions()[0]["n"] != rdf.NewInteger(4) {
+		t.Errorf("COUNT(?a) = %v, want 4 (one per row)", res.Solutions()[0]["n"])
 	}
 	res2 := exec(t, st, `SELECT (COUNT(DISTINCT ?a) AS ?n) WHERE { ?b dbont:author ?a }`)
-	if res2.Solutions[0]["n"] != rdf.NewInteger(2) {
-		t.Errorf("COUNT(DISTINCT ?a) = %v, want 2", res2.Solutions[0]["n"])
+	if res2.Solutions()[0]["n"] != rdf.NewInteger(2) {
+		t.Errorf("COUNT(DISTINCT ?a) = %v, want 2", res2.Solutions()[0]["n"])
 	}
 }
 
 func TestCountEmptyMatch(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT (COUNT(?x) AS ?n) WHERE { ?x dbont:author res:Nobody }`)
-	if res.Solutions[0]["n"] != rdf.NewInteger(0) {
-		t.Errorf("count of empty = %v, want 0", res.Solutions[0]["n"])
+	if res.Solutions()[0]["n"] != rdf.NewInteger(0) {
+		t.Errorf("count of empty = %v, want 0", res.Solutions()[0]["n"])
 	}
 }
 
@@ -47,8 +47,8 @@ func TestUnionTwoBranches(t *testing.T) {
 	res := exec(t, st, `SELECT DISTINCT ?x WHERE {
 		{ ?x a dbont:Writer } UNION { ?x a dbont:BasketballPlayer }
 	}`)
-	if len(res.Solutions) != 4 {
-		t.Fatalf("union rows = %d, want 4: %v", len(res.Solutions), res.Solutions)
+	if len(res.Solutions()) != 4 {
+		t.Fatalf("union rows = %d, want 4: %v", len(res.Solutions()), res.Solutions())
 	}
 }
 
@@ -59,8 +59,8 @@ func TestUnionJoinsWithRequiredPatterns(t *testing.T) {
 		?b a dbont:Book .
 		{ ?b dbont:author res:Orhan_Pamuk } UNION { ?b dbont:author res:H_G_Wells }
 	}`)
-	if len(res.Solutions) != 4 {
-		t.Errorf("rows = %d, want 4 (3 Pamuk + 1 Wells)", len(res.Solutions))
+	if len(res.Solutions()) != 4 {
+		t.Errorf("rows = %d, want 4 (3 Pamuk + 1 Wells)", len(res.Solutions()))
 	}
 }
 
@@ -69,16 +69,16 @@ func TestUnionThreeBranches(t *testing.T) {
 	res := exec(t, st, `SELECT DISTINCT ?x WHERE {
 		{ ?x a dbont:Writer } UNION { ?x a dbont:BasketballPlayer } UNION { ?x a dbont:Book }
 	}`)
-	if len(res.Solutions) != 8 {
-		t.Errorf("rows = %d, want 8", len(res.Solutions))
+	if len(res.Solutions()) != 8 {
+		t.Errorf("rows = %d, want 8", len(res.Solutions()))
 	}
 }
 
 func TestNestedPlainGroupInlines(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?b WHERE { { ?b a dbont:Book . ?b dbont:author res:Orhan_Pamuk } }`)
-	if len(res.Solutions) != 3 {
-		t.Errorf("rows = %d, want 3", len(res.Solutions))
+	if len(res.Solutions()) != 3 {
+		t.Errorf("rows = %d, want 3", len(res.Solutions()))
 	}
 }
 
@@ -89,10 +89,10 @@ func TestOptionalLeftJoin(t *testing.T) {
 		?w a dbont:Writer .
 		OPTIONAL { ?w dbont:height ?h }
 	}`)
-	if len(res.Solutions) != 2 {
-		t.Fatalf("rows = %d, want 2 (writers kept without height)", len(res.Solutions))
+	if len(res.Solutions()) != 2 {
+		t.Fatalf("rows = %d, want 2 (writers kept without height)", len(res.Solutions()))
 	}
-	for _, sol := range res.Solutions {
+	for _, sol := range res.Solutions() {
 		if _, ok := sol["h"]; ok {
 			t.Errorf("unexpected height binding: %v", sol)
 		}
@@ -102,7 +102,7 @@ func TestOptionalLeftJoin(t *testing.T) {
 		?p a dbont:BasketballPlayer .
 		OPTIONAL { ?p dbont:height ?h }
 	}`)
-	for _, sol := range res2.Solutions {
+	for _, sol := range res2.Solutions() {
 		if _, ok := sol["h"]; !ok {
 			t.Errorf("height not bound for %v", sol["p"])
 		}
@@ -118,8 +118,8 @@ func TestOptionalWithBoundFilter(t *testing.T) {
 		OPTIONAL { ?w dbont:height ?h }
 		FILTER(!BOUND(?h))
 	}`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("rows = %d, want 2", len(res.Solutions))
+	if len(res.Solutions()) != 2 {
+		t.Errorf("rows = %d, want 2", len(res.Solutions()))
 	}
 }
 
@@ -129,8 +129,8 @@ func TestUnionOnlyGroup(t *testing.T) {
 	res := exec(t, st, `SELECT DISTINCT ?x WHERE {
 		{ ?x dbont:height 1.98 } UNION { ?x dbont:height 2.03 }
 	}`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("rows = %d, want 2", len(res.Solutions))
+	if len(res.Solutions()) != 2 {
+		t.Errorf("rows = %d, want 2", len(res.Solutions()))
 	}
 }
 

@@ -28,12 +28,12 @@ func TestOrderByMultipleKeys(t *testing.T) {
 	st := modGraph()
 	res := exec(t, st, `SELECT ?p ?t ?h WHERE { ?p dbont:team ?t . ?p dbont:height ?h }
 		ORDER BY ?t DESC(?h)`)
-	if len(res.Solutions) != 4 {
-		t.Fatalf("rows = %d", len(res.Solutions))
+	if len(res.Solutions()) != 4 {
+		t.Fatalf("rows = %d", len(res.Solutions()))
 	}
 	wantOrder := []string{"Cara", "Dan", "Bob", "Alice"} // Blues desc-h, Reds desc-h
 	for i, want := range wantOrder {
-		if got := res.Solutions[i]["p"].LocalName(); got != want {
+		if got := res.Solutions()[i]["p"].LocalName(); got != want {
 			t.Errorf("row %d = %s, want %s", i, got, want)
 		}
 	}
@@ -42,24 +42,24 @@ func TestOrderByMultipleKeys(t *testing.T) {
 func TestOrderByAscKeyword(t *testing.T) {
 	st := modGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } ORDER BY ASC(?h) LIMIT 1`)
-	if res.Solutions[0]["p"] != rdf.Res("Dan") {
-		t.Errorf("shortest = %v", res.Solutions[0]["p"])
+	if res.Solutions()[0]["p"] != rdf.Res("Dan") {
+		t.Errorf("shortest = %v", res.Solutions()[0]["p"])
 	}
 }
 
 func TestOrderByStringValues(t *testing.T) {
 	st := modGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:team res:Reds } ORDER BY ?p`)
-	if res.Solutions[0]["p"] != rdf.Res("Alice") || res.Solutions[1]["p"] != rdf.Res("Bob") {
-		t.Errorf("order = %v", res.Solutions)
+	if res.Solutions()[0]["p"] != rdf.Res("Alice") || res.Solutions()[1]["p"] != rdf.Res("Bob") {
+		t.Errorf("order = %v", res.Solutions())
 	}
 }
 
 func TestLimitZero(t *testing.T) {
 	st := modGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } LIMIT 0`)
-	if len(res.Solutions) != 0 {
-		t.Errorf("LIMIT 0 returned %d rows", len(res.Solutions))
+	if len(res.Solutions()) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(res.Solutions()))
 	}
 }
 
@@ -67,11 +67,11 @@ func TestLimitOffsetCombined(t *testing.T) {
 	st := modGraph()
 	all := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } ORDER BY ?h`)
 	page := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h } ORDER BY ?h LIMIT 2 OFFSET 1`)
-	if len(page.Solutions) != 2 {
-		t.Fatalf("page rows = %d", len(page.Solutions))
+	if len(page.Solutions()) != 2 {
+		t.Fatalf("page rows = %d", len(page.Solutions()))
 	}
-	if page.Solutions[0]["p"] != all.Solutions[1]["p"] ||
-		page.Solutions[1]["p"] != all.Solutions[2]["p"] {
+	if page.Solutions()[0]["p"] != all.Solutions()[1]["p"] ||
+		page.Solutions()[1]["p"] != all.Solutions()[2]["p"] {
 		t.Error("pagination window wrong")
 	}
 }
@@ -81,8 +81,8 @@ func TestCountWithModifiersIgnoresLimit(t *testing.T) {
 	// apply to rows are irrelevant to the single aggregate row.
 	st := modGraph()
 	res := exec(t, st, `SELECT (COUNT(?p) AS ?n) WHERE { ?p dbont:height ?h }`)
-	if res.Solutions[0]["n"] != rdf.NewInteger(4) {
-		t.Errorf("count = %v", res.Solutions[0]["n"])
+	if res.Solutions()[0]["n"] != rdf.NewInteger(4) {
+		t.Errorf("count = %v", res.Solutions()[0]["n"])
 	}
 }
 
@@ -91,10 +91,10 @@ func TestOrderByUnboundSortsFirst(t *testing.T) {
 	st.Add(rdf.Triple{S: rdf.Res("Eve"), P: rdf.Ont("team"), O: rdf.Res("Reds")})
 	// Eve has no height; OPTIONAL keeps her with h unbound.
 	res := exec(t, st, `SELECT ?p ?h WHERE { ?p dbont:team ?t . OPTIONAL { ?p dbont:height ?h } } ORDER BY ?h`)
-	if len(res.Solutions) != 5 {
-		t.Fatalf("rows = %d", len(res.Solutions))
+	if len(res.Solutions()) != 5 {
+		t.Fatalf("rows = %d", len(res.Solutions()))
 	}
-	if res.Solutions[0]["p"] != rdf.Res("Eve") {
-		t.Errorf("unbound row should sort first ascending: %v", res.Solutions[0])
+	if res.Solutions()[0]["p"] != rdf.Res("Eve") {
+		t.Errorf("unbound row should sort first ascending: %v", res.Solutions()[0])
 	}
 }

@@ -117,7 +117,7 @@ func TestExecutorMatchesReferenceEvaluator(t *testing.T) {
 		want := referenceBGP(triples, patterns)
 
 		projVars := q.Vars()
-		gotC := canonical(got.Solutions, projVars)
+		gotC := canonical(got.Solutions(), projVars)
 		wantC := canonical(projectRef(want, projVars), projVars)
 		if len(gotC) != len(wantC) {
 			t.Fatalf("trial %d: %d solutions, reference %d\npatterns: %v\ngot: %v\nwant: %v",
@@ -174,7 +174,7 @@ func TestExecutorMatchesReferenceWithFilters(t *testing.T) {
 				want = append(want, b)
 			}
 		}
-		gotC := canonical(got.Solutions, []string{"s", "v"})
+		gotC := canonical(got.Solutions(), []string{"s", "v"})
 		wantC := canonical(want, []string{"s", "v"})
 		if len(gotC) != len(wantC) {
 			t.Fatalf("threshold %d: %d vs reference %d", threshold, len(gotC), len(wantC))

@@ -48,8 +48,8 @@ func exec(t *testing.T, st *store.Store, src string) *Result {
 func TestSelectBasic(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?x WHERE { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk . }`)
-	if len(res.Solutions) != 3 {
-		t.Fatalf("got %d solutions, want 3: %v", len(res.Solutions), res.Solutions)
+	if len(res.Solutions()) != 3 {
+		t.Fatalf("got %d solutions, want 3: %v", len(res.Solutions()), res.Solutions())
 	}
 	col := res.Column("x")
 	names := map[string]bool{}
@@ -66,8 +66,8 @@ func TestSelectBasic(t *testing.T) {
 func TestSelectKeywordCaseInsensitive(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `select ?x where { ?x rdf:type dbont:Book } limit 2`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("lowercase keywords: got %d rows, want 2", len(res.Solutions))
+	if len(res.Solutions()) != 2 {
+		t.Errorf("lowercase keywords: got %d rows, want 2", len(res.Solutions()))
 	}
 }
 
@@ -77,16 +77,16 @@ func TestSelectWithExplicitPrefix(t *testing.T) {
 PREFIX o: <http://dbpedia.org/ontology/>
 PREFIX r: <http://dbpedia.org/resource/>
 SELECT ?b WHERE { ?b o:author r:Orhan_Pamuk . }`)
-	if len(res.Solutions) != 3 {
-		t.Errorf("got %d, want 3", len(res.Solutions))
+	if len(res.Solutions()) != 3 {
+		t.Errorf("got %d, want 3", len(res.Solutions()))
 	}
 }
 
 func TestSelectFullIRIs(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?b WHERE { ?b <http://dbpedia.org/ontology/author> <http://dbpedia.org/resource/Orhan_Pamuk> }`)
-	if len(res.Solutions) != 3 {
-		t.Errorf("got %d, want 3", len(res.Solutions))
+	if len(res.Solutions()) != 3 {
+		t.Errorf("got %d, want 3", len(res.Solutions()))
 	}
 }
 
@@ -96,24 +96,24 @@ func TestSelectStar(t *testing.T) {
 	if len(res.Vars) != 2 {
 		t.Fatalf("vars = %v, want [b a]", res.Vars)
 	}
-	if len(res.Solutions) != 4 {
-		t.Errorf("got %d rows, want 4", len(res.Solutions))
+	if len(res.Solutions()) != 4 {
+		t.Errorf("got %d rows, want 4", len(res.Solutions()))
 	}
 }
 
 func TestAATypeAbbreviation(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?x WHERE { ?x a dbont:Writer }`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("'a' abbreviation: got %d, want 2", len(res.Solutions))
+	if len(res.Solutions()) != 2 {
+		t.Errorf("'a' abbreviation: got %d, want 2", len(res.Solutions()))
 	}
 }
 
 func TestSemicolonAndCommaSyntax(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?x WHERE { ?x a dbont:Book ; dbont:author res:Orhan_Pamuk . }`)
-	if len(res.Solutions) != 3 {
-		t.Errorf("semicolon syntax: got %d, want 3", len(res.Solutions))
+	if len(res.Solutions()) != 3 {
+		t.Errorf("semicolon syntax: got %d, want 3", len(res.Solutions()))
 	}
 	res2 := exec(t, st, `ASK { res:Abraham_Lincoln dbont:deathPlace res:Washington_D.C. , res:Nowhere }`)
 	if res2.Boolean {
@@ -139,52 +139,52 @@ func TestAsk(t *testing.T) {
 func TestFilterNumericComparison(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(?h > 2.0) }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["p"] != rdf.Res("Scottie_Pippen") {
-		t.Errorf("FILTER > : %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["p"] != rdf.Res("Scottie_Pippen") {
+		t.Errorf("FILTER > : %v", res.Solutions())
 	}
 	res2 := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(?h >= 1.98 && ?h <= 2.0) }`)
-	if len(res2.Solutions) != 1 || res2.Solutions[0]["p"] != rdf.Res("Michael_Jordan") {
-		t.Errorf("FILTER && : %v", res2.Solutions)
+	if len(res2.Solutions()) != 1 || res2.Solutions()[0]["p"] != rdf.Res("Michael_Jordan") {
+		t.Errorf("FILTER && : %v", res2.Solutions())
 	}
 }
 
 func TestFilterEqualityAndInequality(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?b WHERE { ?b a dbont:Book . ?b dbont:author ?a . FILTER(?a != res:Orhan_Pamuk) }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["b"] != rdf.Res("The_Time_Machine") {
-		t.Errorf("FILTER != : %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["b"] != rdf.Res("The_Time_Machine") {
+		t.Errorf("FILTER != : %v", res.Solutions())
 	}
 }
 
 func TestFilterRegexAndStr(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?x WHERE { ?x rdfs:label ?l . FILTER(REGEX(STR(?l), "pamuk", "i")) }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["x"] != rdf.Res("Orhan_Pamuk") {
-		t.Errorf("REGEX: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["x"] != rdf.Res("Orhan_Pamuk") {
+		t.Errorf("REGEX: %v", res.Solutions())
 	}
 }
 
 func TestFilterBuiltins(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?o WHERE { res:Abraham_Lincoln ?p ?o . FILTER(ISLITERAL(?o)) }`)
-	if len(res.Solutions) != 1 || !res.Solutions[0]["o"].IsDate() {
-		t.Errorf("ISLITERAL: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || !res.Solutions()[0]["o"].IsDate() {
+		t.Errorf("ISLITERAL: %v", res.Solutions())
 	}
 	res2 := exec(t, st, `SELECT ?o WHERE { res:Abraham_Lincoln ?p ?o . FILTER(ISIRI(?o)) }`)
-	if len(res2.Solutions) != 1 || res2.Solutions[0]["o"] != rdf.Res("Washington_D.C.") {
-		t.Errorf("ISIRI: %v", res2.Solutions)
+	if len(res2.Solutions()) != 1 || res2.Solutions()[0]["o"] != rdf.Res("Washington_D.C.") {
+		t.Errorf("ISIRI: %v", res2.Solutions())
 	}
 	res3 := exec(t, st, `SELECT ?x WHERE { ?x rdfs:label ?l . FILTER(LANGMATCHES(LANG(?l), "en")) }`)
-	if len(res3.Solutions) != 1 {
-		t.Errorf("LANGMATCHES/LANG: %v", res3.Solutions)
+	if len(res3.Solutions()) != 1 {
+		t.Errorf("LANGMATCHES/LANG: %v", res3.Solutions())
 	}
 	res4 := exec(t, st, `SELECT ?x WHERE { ?x rdfs:label ?l . FILTER(CONTAINS(LCASE(STR(?l)), "orhan")) }`)
-	if len(res4.Solutions) != 1 {
-		t.Errorf("CONTAINS/LCASE: %v", res4.Solutions)
+	if len(res4.Solutions()) != 1 {
+		t.Errorf("CONTAINS/LCASE: %v", res4.Solutions())
 	}
 	res5 := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(ISNUMERIC(?h) && STRLEN(STR(?p)) > 0) }`)
-	if len(res5.Solutions) != 2 {
-		t.Errorf("ISNUMERIC/STRLEN: %v", res5.Solutions)
+	if len(res5.Solutions()) != 2 {
+		t.Errorf("ISNUMERIC/STRLEN: %v", res5.Solutions())
 	}
 }
 
@@ -192,38 +192,38 @@ func TestFilterBound(t *testing.T) {
 	st := testGraph()
 	// BOUND on a bound variable.
 	res := exec(t, st, `SELECT ?x WHERE { ?x a dbont:Writer . FILTER(BOUND(?x)) }`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("BOUND: %v", res.Solutions)
+	if len(res.Solutions()) != 2 {
+		t.Errorf("BOUND: %v", res.Solutions())
 	}
 	// !BOUND for a variable that never binds: the filter references an
 	// out-of-pattern var; solutions survive because !BOUND(?y) is true.
 	res2 := exec(t, st, `SELECT ?x WHERE { ?x a dbont:Writer . FILTER(!BOUND(?y)) }`)
-	if len(res2.Solutions) != 2 {
-		t.Errorf("!BOUND unbound: %v", res2.Solutions)
+	if len(res2.Solutions()) != 2 {
+		t.Errorf("!BOUND unbound: %v", res2.Solutions())
 	}
 }
 
 func TestFilterArithmetic(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(?h * 100 > 200) }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["p"] != rdf.Res("Scottie_Pippen") {
-		t.Errorf("arithmetic: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["p"] != rdf.Res("Scottie_Pippen") {
+		t.Errorf("arithmetic: %v", res.Solutions())
 	}
 	res2 := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(-?h < -2) }`)
-	if len(res2.Solutions) != 1 {
-		t.Errorf("unary minus: %v", res2.Solutions)
+	if len(res2.Solutions()) != 1 {
+		t.Errorf("unary minus: %v", res2.Solutions())
 	}
 }
 
 func TestOrderByAndLimit(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?p ?h WHERE { ?p dbont:height ?h } ORDER BY DESC(?h) LIMIT 1`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["p"] != rdf.Res("Scottie_Pippen") {
-		t.Errorf("ORDER BY DESC LIMIT: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["p"] != rdf.Res("Scottie_Pippen") {
+		t.Errorf("ORDER BY DESC LIMIT: %v", res.Solutions())
 	}
 	res2 := exec(t, st, `SELECT ?p ?h WHERE { ?p dbont:height ?h } ORDER BY ?h LIMIT 1`)
-	if len(res2.Solutions) != 1 || res2.Solutions[0]["p"] != rdf.Res("Michael_Jordan") {
-		t.Errorf("ORDER BY ASC: %v", res2.Solutions)
+	if len(res2.Solutions()) != 1 || res2.Solutions()[0]["p"] != rdf.Res("Michael_Jordan") {
+		t.Errorf("ORDER BY ASC: %v", res2.Solutions())
 	}
 }
 
@@ -231,14 +231,14 @@ func TestOffset(t *testing.T) {
 	st := testGraph()
 	all := exec(t, st, `SELECT ?b WHERE { ?b a dbont:Book } ORDER BY ?b`)
 	off := exec(t, st, `SELECT ?b WHERE { ?b a dbont:Book } ORDER BY ?b OFFSET 2`)
-	if len(all.Solutions) != 4 || len(off.Solutions) != 2 {
-		t.Fatalf("offset: all=%d off=%d", len(all.Solutions), len(off.Solutions))
+	if len(all.Solutions()) != 4 || len(off.Solutions()) != 2 {
+		t.Fatalf("offset: all=%d off=%d", len(all.Solutions()), len(off.Solutions()))
 	}
-	if all.Solutions[2]["b"] != off.Solutions[0]["b"] {
+	if all.Solutions()[2]["b"] != off.Solutions()[0]["b"] {
 		t.Error("OFFSET did not skip rows in order")
 	}
 	none := exec(t, st, `SELECT ?b WHERE { ?b a dbont:Book } OFFSET 99`)
-	if len(none.Solutions) != 0 {
+	if len(none.Solutions()) != 0 {
 		t.Error("large OFFSET should empty results")
 	}
 }
@@ -247,11 +247,11 @@ func TestDistinct(t *testing.T) {
 	st := testGraph()
 	dup := exec(t, st, `SELECT ?a WHERE { ?b dbont:author ?a }`)
 	dis := exec(t, st, `SELECT DISTINCT ?a WHERE { ?b dbont:author ?a }`)
-	if len(dup.Solutions) != 4 {
-		t.Errorf("without DISTINCT: %d, want 4", len(dup.Solutions))
+	if len(dup.Solutions()) != 4 {
+		t.Errorf("without DISTINCT: %d, want 4", len(dup.Solutions()))
 	}
-	if len(dis.Solutions) != 2 {
-		t.Errorf("with DISTINCT: %d, want 2", len(dis.Solutions))
+	if len(dis.Solutions()) != 2 {
+		t.Errorf("with DISTINCT: %d, want 2", len(dis.Solutions()))
 	}
 }
 
@@ -260,8 +260,8 @@ func TestRepeatedVariableJoin(t *testing.T) {
 	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("knows"), O: rdf.Res("A")})
 	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("knows"), O: rdf.Res("B")})
 	res := exec(t, st, `SELECT ?x WHERE { ?x dbont:knows ?x }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["x"] != rdf.Res("A") {
-		t.Errorf("self-join: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["x"] != rdf.Res("A") {
+		t.Errorf("self-join: %v", res.Solutions())
 	}
 }
 
@@ -269,16 +269,16 @@ func TestMultiHopJoin(t *testing.T) {
 	st := testGraph()
 	// Which writers authored a book? (book -> author -> type Writer)
 	res := exec(t, st, `SELECT DISTINCT ?w WHERE { ?b a dbont:Book . ?b dbont:author ?w . ?w a dbont:Writer . }`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("multi-hop join: %v", res.Solutions)
+	if len(res.Solutions()) != 2 {
+		t.Errorf("multi-hop join: %v", res.Solutions())
 	}
 }
 
 func TestEmptyResultNoMatch(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?x WHERE { ?x dbont:author res:Nobody }`)
-	if len(res.Solutions) != 0 {
-		t.Errorf("expected empty result, got %v", res.Solutions)
+	if len(res.Solutions()) != 0 {
+		t.Errorf("expected empty result, got %v", res.Solutions())
 	}
 }
 
@@ -294,8 +294,8 @@ func TestDeterministicDefaultOrder(t *testing.T) {
 	st := testGraph()
 	a := exec(t, st, `SELECT ?b WHERE { ?b a dbont:Book }`)
 	b := exec(t, st, `SELECT ?b WHERE { ?b a dbont:Book }`)
-	for i := range a.Solutions {
-		if a.Solutions[i]["b"] != b.Solutions[i]["b"] {
+	for i := range a.Solutions() {
+		if a.Solutions()[i]["b"] != b.Solutions()[i]["b"] {
 			t.Fatal("default ordering not deterministic")
 		}
 	}
@@ -304,16 +304,16 @@ func TestDeterministicDefaultOrder(t *testing.T) {
 func TestLiteralObjectsInPatterns(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height 1.98 }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["p"] != rdf.Res("Michael_Jordan") {
-		t.Errorf("typed numeric literal object: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["p"] != rdf.Res("Michael_Jordan") {
+		t.Errorf("typed numeric literal object: %v", res.Solutions())
 	}
 	res2 := exec(t, st, `SELECT ?x WHERE { ?x rdfs:label "Orhan Pamuk"@en }`)
-	if len(res2.Solutions) != 1 {
-		t.Errorf("lang literal object: %v", res2.Solutions)
+	if len(res2.Solutions()) != 1 {
+		t.Errorf("lang literal object: %v", res2.Solutions())
 	}
 	res3 := exec(t, st, `SELECT ?x WHERE { ?x dbont:deathDate "1865-04-15"^^xsd:date }`)
-	if len(res3.Solutions) != 1 {
-		t.Errorf("typed literal object: %v", res3.Solutions)
+	if len(res3.Solutions()) != 1 {
+		t.Errorf("typed literal object: %v", res3.Solutions())
 	}
 }
 
@@ -367,20 +367,20 @@ func TestQueryStringRoundTrip(t *testing.T) {
 	st := testGraph()
 	r1, _ := Execute(st, q)
 	r2, _ := Execute(st, q2)
-	if len(r1.Solutions) != len(r2.Solutions) {
-		t.Errorf("round-trip changed result: %d vs %d", len(r1.Solutions), len(r2.Solutions))
+	if len(r1.Solutions()) != len(r2.Solutions()) {
+		t.Errorf("round-trip changed result: %d vs %d", len(r1.Solutions()), len(r2.Solutions()))
 	}
 }
 
 func TestLessThanVsIRIAmbiguity(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(?h < 2.0) }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["p"] != rdf.Res("Michael_Jordan") {
-		t.Errorf("FILTER < lexing: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["p"] != rdf.Res("Michael_Jordan") {
+		t.Errorf("FILTER < lexing: %v", res.Solutions())
 	}
 	res2 := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(?h <= 1.98) }`)
-	if len(res2.Solutions) != 1 {
-		t.Errorf("FILTER <= lexing: %v", res2.Solutions)
+	if len(res2.Solutions()) != 1 {
+		t.Errorf("FILTER <= lexing: %v", res2.Solutions())
 	}
 }
 
@@ -403,35 +403,35 @@ func TestCartesianProductQuery(t *testing.T) {
 	st := testGraph()
 	// Two disconnected patterns: writers x players = 2 x 2 = 4 rows.
 	res := exec(t, st, `SELECT ?w ?p WHERE { ?w a dbont:Writer . ?p a dbont:BasketballPlayer . }`)
-	if len(res.Solutions) != 4 {
-		t.Errorf("cartesian product: %d rows, want 4", len(res.Solutions))
+	if len(res.Solutions()) != 4 {
+		t.Errorf("cartesian product: %d rows, want 4", len(res.Solutions()))
 	}
 }
 
 func TestFilterOrSemantics(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(?h < 1.99 || ?h > 2.02) }`)
-	if len(res.Solutions) != 2 {
-		t.Errorf("|| : %v", res.Solutions)
+	if len(res.Solutions()) != 2 {
+		t.Errorf("|| : %v", res.Solutions())
 	}
 	res2 := exec(t, st, `SELECT ?p WHERE { ?p dbont:height ?h . FILTER(!(?h < 1.99)) }`)
-	if len(res2.Solutions) != 1 || res2.Solutions[0]["p"] != rdf.Res("Scottie_Pippen") {
-		t.Errorf("! : %v", res2.Solutions)
+	if len(res2.Solutions()) != 1 || res2.Solutions()[0]["p"] != rdf.Res("Scottie_Pippen") {
+		t.Errorf("! : %v", res2.Solutions())
 	}
 }
 
 func TestDatatypeBuiltin(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?o WHERE { res:Abraham_Lincoln dbont:deathDate ?o . FILTER(DATATYPE(?o) = xsd:date) }`)
-	if len(res.Solutions) != 1 {
-		t.Errorf("DATATYPE: %v", res.Solutions)
+	if len(res.Solutions()) != 1 {
+		t.Errorf("DATATYPE: %v", res.Solutions())
 	}
 }
 
 func TestSameTerm(t *testing.T) {
 	st := testGraph()
 	res := exec(t, st, `SELECT ?b WHERE { ?b dbont:author ?a . FILTER(SAMETERM(?a, res:H_G_Wells)) }`)
-	if len(res.Solutions) != 1 || res.Solutions[0]["b"] != rdf.Res("The_Time_Machine") {
-		t.Errorf("SAMETERM: %v", res.Solutions)
+	if len(res.Solutions()) != 1 || res.Solutions()[0]["b"] != rdf.Res("The_Time_Machine") {
+		t.Errorf("SAMETERM: %v", res.Solutions())
 	}
 }

@@ -137,8 +137,7 @@ func (ex *tsExecutor) run() (*Result, error) {
 			}
 		}
 		row := Binding{q.Count.As: rdf.NewInteger(int64(n))}
-		return &Result{Form: FormSelect, Vars: []string{q.Count.As},
-			Solutions: []Binding{row}}, nil
+		return newMaterializedResult(FormSelect, []string{q.Count.As}, []Binding{row}), nil
 	}
 
 	// Projection variable list.
@@ -219,7 +218,7 @@ func (ex *tsExecutor) run() (*Result, error) {
 		projected = projected[:q.Limit]
 	}
 
-	return &Result{Form: FormSelect, Vars: vars, Solutions: projected}, nil
+	return newMaterializedResult(FormSelect, vars, projected), nil
 }
 
 func bindingLess(a, b Binding, vars []string) bool {

@@ -22,10 +22,11 @@ import (
 
 var snapshotMagic = [8]byte{'Q', 'A', 'S', 'T', 'O', 'R', 'E', '1'}
 
-// WriteSnapshot serialises the store.
+// WriteSnapshot serialises the store. It pins one immutable read
+// snapshot up front, so concurrent writers are neither blocked nor
+// observed mid-batch: the dump is exactly the pinned state.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sn := s.Snapshot()
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
@@ -45,10 +46,11 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 
-	if err := writeU32(uint32(len(s.inverse))); err != nil {
+	terms := sn.TermsView()
+	if err := writeU32(uint32(len(terms))); err != nil {
 		return err
 	}
-	for _, term := range s.inverse {
+	for _, term := range terms {
 		if err := bw.WriteByte(byte(term.Kind)); err != nil {
 			return err
 		}
@@ -63,34 +65,38 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		}
 	}
 
-	if err := writeU32(uint32(s.size)); err != nil {
+	if err := writeU32(uint32(sn.Len())); err != nil {
 		return err
 	}
 	written := 0
 	var werr error
-	for sid, bk := range s.spo.buckets {
-		for pid, objs := range bk.entries {
-			for _, oid := range objs {
-				if werr = writeU32(uint32(sid)); werr != nil {
-					return werr
-				}
-				if werr = writeU32(uint32(pid)); werr != nil {
-					return werr
-				}
-				if werr = writeU32(uint32(oid)); werr != nil {
-					return werr
-				}
-				written++
-			}
+	sn.ForEachMatchIDs([3]ID{}, func(sid, pid, oid ID) bool {
+		if werr = writeU32(uint32(sid)); werr != nil {
+			return false
 		}
+		if werr = writeU32(uint32(pid)); werr != nil {
+			return false
+		}
+		if werr = writeU32(uint32(oid)); werr != nil {
+			return false
+		}
+		written++
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
-	if written != s.size {
-		return fmt.Errorf("store: snapshot wrote %d triples, size is %d", written, s.size)
+	if written != sn.Len() {
+		return fmt.Errorf("store: snapshot wrote %d triples, size is %d", written, sn.Len())
 	}
 	return bw.Flush()
 }
 
 // ReadSnapshot loads a store from a snapshot written by WriteSnapshot.
+// The whole file loads as a single write batch: the dictionary is
+// interned in snapshot order (so the file's IDs are reused verbatim)
+// and the triples are indexed directly by ID, publishing one snapshot
+// at the end.
 func ReadSnapshot(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
@@ -155,49 +161,40 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: triple count: %w", err)
 	}
-	// Bulk load: intern the whole dictionary in snapshot order (so the
-	// file's IDs are reused verbatim), then index the triples directly by
-	// ID, all under one exclusive lock.
+
 	st := New()
-	st.mu.Lock()
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	w := st.begin()
 	for _, t := range terms {
-		st.intern(t)
+		w.intern(t)
 	}
-	dictOK := len(st.inverse) == int(termCount) // duplicates would shift IDs
-	st.mu.Unlock()
-	if !dictOK {
+	if len(w.next.inverse) != int(termCount) { // duplicates would shift IDs
 		return nil, fmt.Errorf("store: snapshot dictionary contains duplicate terms")
 	}
-	loadTriples := func() error {
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		for i := uint32(0); i < tripleCount; i++ {
-			sid, err := readU32()
-			if err != nil {
-				return fmt.Errorf("store: triple %d: %w", i, err)
-			}
-			pid, err := readU32()
-			if err != nil {
-				return fmt.Errorf("store: triple %d: %w", i, err)
-			}
-			oid, err := readU32()
-			if err != nil {
-				return fmt.Errorf("store: triple %d: %w", i, err)
-			}
-			if sid == 0 || pid == 0 || oid == 0 ||
-				sid > termCount || pid > termCount || oid > termCount {
-				return fmt.Errorf("store: triple %d references invalid term ID", i)
-			}
-			st.addIDsLocked(ID(sid), ID(pid), ID(oid))
+	for i := uint32(0); i < tripleCount; i++ {
+		sid, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("store: triple %d: %w", i, err)
 		}
-		return nil
+		pid, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("store: triple %d: %w", i, err)
+		}
+		oid, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("store: triple %d: %w", i, err)
+		}
+		if sid == 0 || pid == 0 || oid == 0 ||
+			sid > termCount || pid > termCount || oid > termCount {
+			return nil, fmt.Errorf("store: triple %d references invalid term ID", i)
+		}
+		w.addIDs(ID(sid), ID(pid), ID(oid))
 	}
-	if err := loadTriples(); err != nil {
-		return nil, err
-	}
-	if st.Len() != int(tripleCount) {
+	if w.next.size != int(tripleCount) {
 		return nil, fmt.Errorf("store: snapshot declared %d triples, loaded %d (duplicates?)",
-			tripleCount, st.Len())
+			tripleCount, w.next.size)
 	}
+	st.commit(w)
 	return st, nil
 }

@@ -3,9 +3,28 @@
 // endpoint plays in the paper.
 //
 // Terms are dictionary-encoded to 32-bit IDs; triples are kept in three
-// hash indexes (SPO, POS, OSP) so that every wildcard combination of a
-// triple pattern resolves to an index scan. The store is safe for
-// concurrent readers; writes take an exclusive lock.
+// permutation indexes (SPO, POS, OSP) so that every wildcard combination
+// of a triple pattern resolves to an index scan.
+//
+// # Wait-free snapshot reads
+//
+// The store is structured as an immutable Snapshot published through an
+// atomic pointer. Readers pin the current snapshot with a single atomic
+// load (Store.Snapshot, or implicitly via any Store read method) and
+// then scan plain immutable memory: no RWMutex, no lock-step with
+// writers, no stalls behind bulk loads. A pinned snapshot stays valid
+// and self-consistent forever — a long 3-pattern join sees either all
+// or none of a concurrent AddAll batch, never a half-applied one.
+//
+// Writers serialise on a mutex and build the next snapshot by
+// copy-on-write: every level of the structure (index root → page of 512
+// buckets → bucket → sorted ID list) carries the generation of the
+// write batch that created it, so a batch clones only what it actually
+// touches (a single Add copies one page and one bucket per index, not
+// whole maps) and mutates its own clones in place for the rest of the
+// batch. The new root is published once per public write call, giving
+// readers atomic batch visibility. Old snapshots are reclaimed by the
+// garbage collector once the last reader drops them.
 //
 // # Two-layer execution model
 //
@@ -15,13 +34,15 @@
 // that need a handful of lookups. The ID-space API (MatchIDs,
 // ForEachMatchIDs, CountIDs, HasIDs, EstimateCardinalityIDs) works
 // entirely on dictionary IDs and never materialises terms; the SPARQL
-// executor runs on it and converts IDs back to terms only when
-// projecting final results (late materialization). TermsView exposes the
-// dictionary as an immutable slice so that conversion needs no locks.
+// executor runs on it — pinning one Snapshot per query — and converts
+// IDs back to terms only when projecting final results (late
+// materialization). TermsView exposes the dictionary as an immutable
+// slice so that conversion needs no locks.
 //
 // Index buckets cache their sorted key slices; the caches are built
-// lazily by readers (idempotently, via atomic pointers, so concurrent
-// readers are race-free) and invalidated by writers that add a new key.
+// lazily by readers (idempotently, via atomic pointers: every builder
+// computes the identical slice from the immutable bucket) and dropped
+// by writers when cloning a bucket whose key set changes.
 package store
 
 import (
@@ -37,19 +58,45 @@ import (
 // and the "unbound" marker in executor binding rows.
 type ID uint32
 
-// bucket is one second-level index entry: third-position IDs keyed by the
-// second-position ID, plus a lazily built cache of the sorted keys.
+const (
+	// pageBits sizes the copy-on-write granularity of the index outer
+	// level: buckets live in fixed pages of 2^pageBits slots, so a write
+	// batch clones one page (512 pointers), not the whole outer level.
+	pageBits = 9
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+
+	// nDictShards shards the term→ID dictionary for the same reason: a
+	// batch that interns new terms clones only the touched shards.
+	nDictShards = 64
+)
+
+// listEntry is one third-position ID list, sorted and unique, stamped
+// with the generation of the write batch that owns the backing array.
+// A batch may mutate the array in place only when gen matches its own;
+// otherwise the list is shared with published snapshots and must be
+// copied first.
+type listEntry struct {
+	gen uint64
+	ids []ID
+}
+
+// bucket is one second-level index entry: third-position ID lists keyed
+// by the second-position ID, plus a lazily built cache of the sorted
+// keys. gen marks the write batch that created this bucket instance;
+// published buckets are immutable.
 type bucket struct {
-	entries map[ID][]ID
-	// keys caches the sorted keys of entries. It is nil after a writer
-	// adds a new key; readers rebuild it on demand. Concurrent rebuilds
-	// are harmless: all readers compute the identical slice from the map
-	// state frozen under the store's read lock.
+	gen     uint64
+	entries map[ID]listEntry
+	// keys caches the sorted keys of entries. Readers build it lazily
+	// and idempotently via the atomic pointer: the bucket is immutable
+	// once published, so concurrent builders compute identical slices.
+	// Writers carry the cache over when cloning a bucket and drop it
+	// when the key set changes.
 	keys atomic.Pointer[[]ID]
 }
 
 // sortedKeys returns the cached sorted key slice, building it if needed.
-// Caller must hold the store lock (read or write).
 func (b *bucket) sortedKeys() []ID {
 	if p := b.keys.Load(); p != nil {
 		return *p
@@ -63,133 +110,169 @@ func (b *bucket) sortedKeys() []ID {
 	return keys
 }
 
-// index is one of the three triple permutations (SPO/POS/OSP): buckets by
-// first-position ID, plus a lazily built cache of the sorted bucket keys.
+// page is one fixed-size block of first-position bucket slots. Published
+// pages are immutable; gen marks the owning write batch.
+type page struct {
+	gen   uint64
+	slots [pageSize]*bucket
+}
+
+// index is one of the three triple permutations (SPO/POS/OSP). The
+// outer level is a paged array indexed directly by the dense first-
+// position ID — lookups are two array indexations and full iterations
+// are naturally in ascending ID order, so no outer sort cache is
+// needed. Published index roots are immutable.
 type index struct {
-	buckets map[ID]*bucket
-	keys    atomic.Pointer[[]ID]
+	gen   uint64
+	pages []*page
 }
 
-func newIndex(hint int) index {
-	return index{buckets: make(map[ID]*bucket, hint)}
-}
-
-// sortedKeys returns the cached sorted outer-key slice, building it if
-// needed. Caller must hold the store lock.
-func (ix *index) sortedKeys() []ID {
-	if p := ix.keys.Load(); p != nil {
-		return *p
+// bucketFor returns the bucket for first-position id (nil when absent).
+func (ix *index) bucketFor(id ID) *bucket {
+	pi := int(id) >> pageBits
+	if pi >= len(ix.pages) {
+		return nil
 	}
-	keys := make([]ID, 0, len(ix.buckets))
-	for k := range ix.buckets {
-		keys = append(keys, k)
+	pg := ix.pages[pi]
+	if pg == nil {
+		return nil
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	ix.keys.Store(&keys)
-	return keys
-}
-
-// insert adds c to the sorted, unique list at [a][b], invalidating key
-// caches when a new key appears. It reports whether c was inserted.
-// Caller must hold the write lock.
-func (ix *index) insert(a, b, c ID) bool {
-	bk, ok := ix.buckets[a]
-	if !ok {
-		bk = &bucket{entries: make(map[ID][]ID, 4)}
-		ix.buckets[a] = bk
-		ix.keys.Store(nil)
-	}
-	lst, had := bk.entries[b]
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= c })
-	if i < len(lst) && lst[i] == c {
-		return false
-	}
-	lst = append(lst, 0)
-	copy(lst[i+1:], lst[i:])
-	lst[i] = c
-	bk.entries[b] = lst
-	if !had {
-		bk.keys.Store(nil)
-	}
-	return true
+	return pg.slots[int(id)&pageMask]
 }
 
 // list returns the third-position IDs at [a][b] (nil when absent).
-// Caller must hold the store lock.
 func (ix *index) list(a, b ID) []ID {
-	bk, ok := ix.buckets[a]
-	if !ok {
+	bk := ix.bucketFor(a)
+	if bk == nil {
 		return nil
 	}
-	return bk.entries[b]
+	return bk.entries[b].ids
 }
 
-// Store is an indexed, dictionary-encoded triple store.
+// forEachBucket streams the non-empty (firstID, bucket) pairs in
+// ascending first-ID order; fn returning false stops early.
+func (ix *index) forEachBucket(fn func(id ID, bk *bucket) bool) {
+	for pi, pg := range ix.pages {
+		if pg == nil {
+			continue
+		}
+		base := pi << pageBits
+		for si := 0; si < pageSize; si++ {
+			bk := pg.slots[si]
+			if bk == nil {
+				continue
+			}
+			if !fn(ID(base+si), bk) {
+				return
+			}
+		}
+	}
+}
+
+// dictShard is one shard of the term→ID dictionary. Published shards
+// are immutable.
+type dictShard struct {
+	gen uint64
+	m   map[rdf.Term]ID
+}
+
+// dict is the sharded term→ID map. Published dict roots are immutable.
+type dict struct {
+	gen    uint64
+	shards []*dictShard // len nDictShards
+}
+
+// termShard hashes a term to its dictionary shard (FNV-1a over the
+// term's fields).
+func termShard(t rdf.Term) int {
+	h := uint32(2166136261)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= 16777619
+		}
+		h ^= 0xff
+		h *= 16777619
+	}
+	mix(t.Value)
+	mix(t.Datatype)
+	mix(t.Lang)
+	h ^= uint32(t.Kind)
+	h *= 16777619
+	return int(h) & (nDictShards - 1)
+}
+
+// Snapshot is an immutable, self-consistent view of the store at one
+// write batch boundary. Pin one with Store.Snapshot and read it for as
+// long as needed — concurrent writers never mutate it and never wait
+// for it; they publish new snapshots alongside. All methods are safe
+// for arbitrary concurrent use.
+type Snapshot struct {
+	d       *dict
+	inverse []rdf.Term // inverse[id-1] = term; shared append-only backing
+	spo     *index
+	pos     *index
+	osp     *index
+	size    int
+	gen     uint64
+}
+
+// Store is an indexed, dictionary-encoded triple store with wait-free
+// snapshot reads. The zero value is not usable; call New.
 type Store struct {
-	mu sync.RWMutex
-
-	dict    map[rdf.Term]ID
-	inverse []rdf.Term // inverse[id-1] = term
-
-	// Primary indexes: first key -> second key -> sorted third IDs.
-	spo index
-	pos index
-	osp index
-
-	size int
+	wmu  sync.Mutex // serialises writers
+	snap atomic.Pointer[Snapshot]
+	gen  uint64 // last allocated batch generation (writer-owned)
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		dict: make(map[rdf.Term]ID, 1024),
-		spo:  newIndex(1024),
-		pos:  newIndex(256),
-		osp:  newIndex(1024),
-	}
+	s := &Store{}
+	s.snap.Store(&Snapshot{
+		d:   &dict{shards: make([]*dictShard, nDictShards)},
+		spo: &index{},
+		pos: &index{},
+		osp: &index{},
+	})
+	return s
 }
 
-// Len returns the number of distinct triples.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.size
-}
+// Snapshot pins the current immutable read view: one atomic load, no
+// locks. The returned snapshot never changes; queries that need a
+// consistent view across many scans (the SPARQL executor pins one per
+// query) read it directly instead of going through the Store methods.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// --- Snapshot read surface ---
+
+// Len returns the number of distinct triples in the snapshot.
+func (sn *Snapshot) Len() int { return sn.size }
 
 // TermCount returns the number of distinct terms in the dictionary.
-func (s *Store) TermCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.inverse)
-}
+func (sn *Snapshot) TermCount() int { return len(sn.inverse) }
 
-// intern returns the ID for t, assigning one if needed. Caller holds mu.
-func (s *Store) intern(t rdf.Term) ID {
-	if id, ok := s.dict[t]; ok {
-		return id
-	}
-	s.inverse = append(s.inverse, t)
-	id := ID(len(s.inverse))
-	s.dict[t] = id
-	return id
-}
+// Gen returns the write-batch generation this snapshot was published
+// at (0 for the empty store). Generations increase monotonically (a
+// no-op write call may skip numbers without publishing) and equal
+// generations imply identical contents.
+func (sn *Snapshot) Gen() uint64 { return sn.gen }
 
 // Lookup returns the ID of t if it is in the dictionary.
-func (s *Store) Lookup(t rdf.Term) (ID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.dict[t]
+func (sn *Snapshot) Lookup(t rdf.Term) (ID, bool) {
+	sh := sn.d.shards[termShard(t)]
+	if sh == nil {
+		return 0, false
+	}
+	id, ok := sh.m[t]
 	return id, ok
 }
 
 // Term returns the term for an ID. It returns a zero term for unknown IDs.
-func (s *Store) Term(id ID) rdf.Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if id == 0 || int(id) > len(s.inverse) {
+func (sn *Snapshot) Term(id ID) rdf.Term {
+	if id == 0 || int(id) > len(sn.inverse) {
 		return rdf.Term{}
 	}
-	return s.inverse[id-1]
+	return sn.inverse[id-1]
 }
 
 // TermsView returns a read-only view of the dictionary: TermsView()[id-1]
@@ -197,143 +280,20 @@ func (s *Store) Term(id ID) rdf.Term {
 // immutable, so the view stays valid for the IDs it covers even as the
 // store grows; callers must not modify it. This is the lock-free lookup
 // surface the SPARQL executor materialises final results through.
-func (s *Store) TermsView() []rdf.Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.inverse
+func (sn *Snapshot) TermsView() []rdf.Term {
+	return sn.inverse[:len(sn.inverse):len(sn.inverse)]
 }
 
-// Add inserts a triple. It reports whether the triple was new. Variable
-// terms are rejected (store data must be ground).
-func (s *Store) Add(t rdf.Triple) bool {
-	if t.S.IsVar() || t.P.IsVar() || t.O.IsVar() {
-		return false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.addLocked(t)
-}
-
-// addLocked inserts a triple. Caller must hold the write lock.
-func (s *Store) addLocked(t rdf.Triple) bool {
-	sid, pid, oid := s.intern(t.S), s.intern(t.P), s.intern(t.O)
-	return s.addIDsLocked(sid, pid, oid)
-}
-
-// addIDsLocked indexes an already-interned triple. Caller must hold the
-// write lock.
-func (s *Store) addIDsLocked(sid, pid, oid ID) bool {
-	if !s.spo.insert(sid, pid, oid) {
-		return false
-	}
-	s.pos.insert(pid, oid, sid)
-	s.osp.insert(oid, sid, pid)
-	s.size++
-	return true
-}
-
-// AddAll inserts every triple under a single exclusive lock and returns
-// the number newly added. For bulk loads this amortises the lock
-// round-trip and index-cache invalidation across the whole batch.
-func (s *Store) AddAll(ts []rdf.Triple) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, t := range ts {
-		if t.S.IsVar() || t.P.IsVar() || t.O.IsVar() {
-			continue
-		}
-		if s.addLocked(t) {
-			n++
-		}
-	}
-	return n
-}
-
-// Has reports whether the exact ground triple is present.
-func (s *Store) Has(t rdf.Triple) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sid, ok := s.dict[t.S]
-	if !ok {
-		return false
-	}
-	pid, ok := s.dict[t.P]
-	if !ok {
-		return false
-	}
-	oid, ok := s.dict[t.O]
-	if !ok {
-		return false
-	}
-	return s.hasIDsLocked(sid, pid, oid)
-}
-
-// HasIDs reports whether the triple (s, p, o) is present, by ID.
-func (s *Store) HasIDs(sid, pid, oid ID) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.hasIDsLocked(sid, pid, oid)
-}
-
-func (s *Store) hasIDsLocked(sid, pid, oid ID) bool {
-	lst := s.spo.list(sid, pid)
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
-	return i < len(lst) && lst[i] == oid
-}
-
-// Match returns all triples matching the pattern; nil (zero) or variable
-// terms act as wildcards. The result order is deterministic.
-func (s *Store) Match(pat rdf.Triple) []rdf.Triple {
-	var out []rdf.Triple
-	s.ForEachMatch(pat, func(t rdf.Triple) bool {
-		out = append(out, t)
-		return true
-	})
-	return out
-}
-
-// MatchIDs returns all ID triples matching the pattern (ID(0) is the
-// wildcard), in deterministic order.
-func (s *Store) MatchIDs(pat [3]ID) [][3]ID {
-	var out [][3]ID
-	s.ForEachMatchIDs(pat, func(a, b, c ID) bool {
-		out = append(out, [3]ID{a, b, c})
-		return true
-	})
-	return out
-}
-
-// Count returns the number of triples matching the pattern. The
-// indexes hold sorted, unique triples, so the cardinality computation
-// is exact and no scan is needed.
-func (s *Store) Count(pat rdf.Triple) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids, ok := s.patternIDsLocked(pat)
-	if !ok {
-		return 0
-	}
-	return s.estimateCardinalityIDsLocked(ids)
-}
-
-// CountIDs returns the number of triples matching the ID pattern.
-func (s *Store) CountIDs(pat [3]ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.estimateCardinalityIDsLocked(pat)
-}
-
-// patternIDsLocked resolves the bound terms of pat to IDs, with ID(0)
-// for wildcards. The bool result is false when a bound term is not in
-// the dictionary (the pattern can match nothing). Caller holds the lock.
-func (s *Store) patternIDsLocked(pat rdf.Triple) ([3]ID, bool) {
+// patternIDs resolves the bound terms of pat to IDs, with ID(0) for
+// wildcards. The bool result is false when a bound term is not in the
+// dictionary (the pattern can match nothing).
+func (sn *Snapshot) patternIDs(pat rdf.Triple) ([3]ID, bool) {
 	var ids [3]ID
 	for i, t := range [3]rdf.Term{pat.S, pat.P, pat.O} {
 		if t.IsZero() || t.IsVar() {
 			continue
 		}
-		id, ok := s.dict[t]
+		id, ok := sn.Lookup(t)
 		if !ok {
 			return ids, false
 		}
@@ -342,163 +302,262 @@ func (s *Store) patternIDsLocked(pat rdf.Triple) ([3]ID, bool) {
 	return ids, true
 }
 
-// ForEachMatch streams the triples matching pat to fn in deterministic
-// order; fn returning false stops the iteration early. This is the
-// term-space surface: it materialises an rdf.Triple per match. Hot paths
-// that do not need terms should use ForEachMatchIDs instead.
-func (s *Store) ForEachMatch(pat rdf.Triple, fn func(rdf.Triple) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids, ok := s.patternIDsLocked(pat)
+// HasIDs reports whether the triple (s, p, o) is present, by ID.
+func (sn *Snapshot) HasIDs(sid, pid, oid ID) bool {
+	lst := sn.spo.list(sid, pid)
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid })
+	return i < len(lst) && lst[i] == oid
+}
+
+// Has reports whether the exact ground triple is present.
+func (sn *Snapshot) Has(t rdf.Triple) bool {
+	sid, ok := sn.Lookup(t.S)
 	if !ok {
-		return // a bound term not in the dictionary matches nothing
+		return false
 	}
-	inv := s.inverse
-	s.forEachMatchIDsLocked(ids, func(a, b, c ID) bool {
-		return fn(rdf.Triple{S: inv[a-1], P: inv[b-1], O: inv[c-1]})
-	})
+	pid, ok := sn.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	oid, ok := sn.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	return sn.HasIDs(sid, pid, oid)
 }
 
 // ForEachMatchIDs streams the ID triples matching pat to fn in
 // deterministic (sorted-ID) order; ID(0) acts as the wildcard and fn
 // returning false stops the iteration early. No terms are materialised.
-func (s *Store) ForEachMatchIDs(pat [3]ID, fn func(s, p, o ID) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.forEachMatchIDsLocked(pat, fn)
-}
-
-// forEachMatchIDsLocked is the shared scan kernel. Caller holds the lock.
-func (s *Store) forEachMatchIDsLocked(pat [3]ID, fn func(s, p, o ID) bool) {
+func (sn *Snapshot) ForEachMatchIDs(pat [3]ID, fn func(s, p, o ID) bool) {
 	sid, pid, oid := pat[0], pat[1], pat[2]
 	switch {
 	case sid != 0 && pid != 0 && oid != 0: // fully ground: existence check
-		if s.hasIDsLocked(sid, pid, oid) {
+		if sn.HasIDs(sid, pid, oid) {
 			fn(sid, pid, oid)
 		}
 	case sid != 0 && pid != 0: // S P ? -> spo[s][p]
-		for _, o := range s.spo.list(sid, pid) {
+		for _, o := range sn.spo.list(sid, pid) {
 			if !fn(sid, pid, o) {
 				return
 			}
 		}
 	case pid != 0 && oid != 0: // ? P O -> pos[p][o]
-		for _, sub := range s.pos.list(pid, oid) {
+		for _, sub := range sn.pos.list(pid, oid) {
 			if !fn(sub, pid, oid) {
 				return
 			}
 		}
 	case sid != 0 && oid != 0: // S ? O -> osp[o][s]
-		for _, p := range s.osp.list(oid, sid) {
+		for _, p := range sn.osp.list(oid, sid) {
 			if !fn(sid, p, oid) {
 				return
 			}
 		}
 	case sid != 0: // S ? ? -> scan spo[s]
-		bk, ok := s.spo.buckets[sid]
-		if !ok {
+		bk := sn.spo.bucketFor(sid)
+		if bk == nil {
 			return
 		}
 		for _, p := range bk.sortedKeys() {
-			for _, o := range bk.entries[p] {
+			for _, o := range bk.entries[p].ids {
 				if !fn(sid, p, o) {
 					return
 				}
 			}
 		}
 	case pid != 0: // ? P ? -> scan pos[p]
-		bk, ok := s.pos.buckets[pid]
-		if !ok {
+		bk := sn.pos.bucketFor(pid)
+		if bk == nil {
 			return
 		}
 		for _, o := range bk.sortedKeys() {
-			for _, sub := range bk.entries[o] {
+			for _, sub := range bk.entries[o].ids {
 				if !fn(sub, pid, o) {
 					return
 				}
 			}
 		}
 	case oid != 0: // ? ? O -> scan osp[o]
-		bk, ok := s.osp.buckets[oid]
-		if !ok {
+		bk := sn.osp.bucketFor(oid)
+		if bk == nil {
 			return
 		}
 		for _, sub := range bk.sortedKeys() {
-			for _, p := range bk.entries[sub] {
+			for _, p := range bk.entries[sub].ids {
 				if !fn(sub, p, oid) {
 					return
 				}
 			}
 		}
-	default: // full scan
-		for _, sub := range s.spo.sortedKeys() {
-			bk := s.spo.buckets[sub]
+	default: // full scan, ascending subject ID (page order)
+		sn.spo.forEachBucket(func(sub ID, bk *bucket) bool {
 			for _, p := range bk.sortedKeys() {
-				for _, o := range bk.entries[p] {
+				for _, o := range bk.entries[p].ids {
 					if !fn(sub, p, o) {
-						return
+						return false
 					}
 				}
 			}
-		}
+			return true
+		})
 	}
 }
 
-// EstimateCardinality returns an upper-bound estimate of the number of
-// matches for pat, used by the SPARQL executor to order joins. It never
-// materialises results.
-func (s *Store) EstimateCardinality(pat rdf.Triple) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids, ok := s.patternIDsLocked(pat)
+// ForEachMatch streams the triples matching pat to fn in deterministic
+// order; fn returning false stops the iteration early. This is the
+// term-space surface: it materialises an rdf.Triple per match. Hot paths
+// that do not need terms should use ForEachMatchIDs instead.
+func (sn *Snapshot) ForEachMatch(pat rdf.Triple, fn func(rdf.Triple) bool) {
+	ids, ok := sn.patternIDs(pat)
 	if !ok {
-		return 0
+		return // a bound term not in the dictionary matches nothing
 	}
-	return s.estimateCardinalityIDsLocked(ids)
+	inv := sn.inverse
+	sn.ForEachMatchIDs(ids, func(a, b, c ID) bool {
+		return fn(rdf.Triple{S: inv[a-1], P: inv[b-1], O: inv[c-1]})
+	})
 }
 
-// EstimateCardinalityIDs is EstimateCardinality on an ID pattern (ID(0)
-// is the wildcard).
-func (s *Store) EstimateCardinalityIDs(pat [3]ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.estimateCardinalityIDsLocked(pat)
+// Match returns all triples matching the pattern; nil (zero) or variable
+// terms act as wildcards. The result order is deterministic.
+func (sn *Snapshot) Match(pat rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	sn.ForEachMatch(pat, func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
 }
 
-func (s *Store) estimateCardinalityIDsLocked(pat [3]ID) int {
+// MatchIDs returns all ID triples matching the pattern (ID(0) is the
+// wildcard), in deterministic order.
+func (sn *Snapshot) MatchIDs(pat [3]ID) [][3]ID {
+	var out [][3]ID
+	sn.ForEachMatchIDs(pat, func(a, b, c ID) bool {
+		out = append(out, [3]ID{a, b, c})
+		return true
+	})
+	return out
+}
+
+// EstimateCardinalityIDs returns an upper-bound estimate of the number
+// of matches for the ID pattern (ID(0) is the wildcard), used by the
+// SPARQL executor to order joins. It never materialises results. The
+// indexes hold sorted, unique triples, so the computation is exact.
+func (sn *Snapshot) EstimateCardinalityIDs(pat [3]ID) int {
 	sid, pid, oid := pat[0], pat[1], pat[2]
 	sum := func(ix *index, key ID) int {
-		bk, ok := ix.buckets[key]
-		if !ok {
+		bk := ix.bucketFor(key)
+		if bk == nil {
 			return 0
 		}
 		n := 0
-		for _, lst := range bk.entries {
-			n += len(lst)
+		for _, e := range bk.entries {
+			n += len(e.ids)
 		}
 		return n
 	}
 	switch {
 	case sid != 0 && pid != 0 && oid != 0:
-		if s.hasIDsLocked(sid, pid, oid) {
+		if sn.HasIDs(sid, pid, oid) {
 			return 1
 		}
 		return 0
 	case sid != 0 && pid != 0:
-		return len(s.spo.list(sid, pid))
+		return len(sn.spo.list(sid, pid))
 	case pid != 0 && oid != 0:
-		return len(s.pos.list(pid, oid))
+		return len(sn.pos.list(pid, oid))
 	case sid != 0 && oid != 0:
-		return len(s.osp.list(oid, sid))
+		return len(sn.osp.list(oid, sid))
 	case sid != 0:
-		return sum(&s.spo, sid)
+		return sum(sn.spo, sid)
 	case pid != 0:
-		return sum(&s.pos, pid)
+		return sum(sn.pos, pid)
 	case oid != 0:
-		return sum(&s.osp, oid)
+		return sum(sn.osp, oid)
 	default:
-		return s.size
+		return sn.size
 	}
+}
+
+// CountIDs returns the number of triples matching the ID pattern.
+func (sn *Snapshot) CountIDs(pat [3]ID) int {
+	return sn.EstimateCardinalityIDs(pat)
+}
+
+// EstimateCardinality is EstimateCardinalityIDs on a term pattern.
+func (sn *Snapshot) EstimateCardinality(pat rdf.Triple) int {
+	ids, ok := sn.patternIDs(pat)
+	if !ok {
+		return 0
+	}
+	return sn.EstimateCardinalityIDs(ids)
+}
+
+// Count returns the number of triples matching the term pattern.
+func (sn *Snapshot) Count(pat rdf.Triple) int {
+	return sn.EstimateCardinality(pat)
+}
+
+// --- Store read surface (delegates to the current snapshot) ---
+
+// Len returns the number of distinct triples.
+func (s *Store) Len() int { return s.Snapshot().Len() }
+
+// TermCount returns the number of distinct terms in the dictionary.
+func (s *Store) TermCount() int { return s.Snapshot().TermCount() }
+
+// Lookup returns the ID of t if it is in the dictionary.
+func (s *Store) Lookup(t rdf.Term) (ID, bool) { return s.Snapshot().Lookup(t) }
+
+// Term returns the term for an ID. It returns a zero term for unknown IDs.
+func (s *Store) Term(id ID) rdf.Term { return s.Snapshot().Term(id) }
+
+// TermsView returns a read-only view of the dictionary; see
+// Snapshot.TermsView.
+func (s *Store) TermsView() []rdf.Term { return s.Snapshot().TermsView() }
+
+// Has reports whether the exact ground triple is present.
+func (s *Store) Has(t rdf.Triple) bool { return s.Snapshot().Has(t) }
+
+// HasIDs reports whether the triple (s, p, o) is present, by ID.
+func (s *Store) HasIDs(sid, pid, oid ID) bool { return s.Snapshot().HasIDs(sid, pid, oid) }
+
+// Match returns all triples matching the pattern; see Snapshot.Match.
+func (s *Store) Match(pat rdf.Triple) []rdf.Triple { return s.Snapshot().Match(pat) }
+
+// MatchIDs returns all ID triples matching the pattern; see
+// Snapshot.MatchIDs.
+func (s *Store) MatchIDs(pat [3]ID) [][3]ID { return s.Snapshot().MatchIDs(pat) }
+
+// Count returns the number of triples matching the pattern.
+func (s *Store) Count(pat rdf.Triple) int { return s.Snapshot().Count(pat) }
+
+// CountIDs returns the number of triples matching the ID pattern.
+func (s *Store) CountIDs(pat [3]ID) int { return s.Snapshot().CountIDs(pat) }
+
+// ForEachMatch streams the triples matching pat; see
+// Snapshot.ForEachMatch.
+func (s *Store) ForEachMatch(pat rdf.Triple, fn func(rdf.Triple) bool) {
+	s.Snapshot().ForEachMatch(pat, fn)
+}
+
+// ForEachMatchIDs streams the ID triples matching pat; see
+// Snapshot.ForEachMatchIDs.
+func (s *Store) ForEachMatchIDs(pat [3]ID, fn func(s, p, o ID) bool) {
+	s.Snapshot().ForEachMatchIDs(pat, fn)
+}
+
+// EstimateCardinality returns an upper-bound estimate of the number of
+// matches for pat; see Snapshot.EstimateCardinality.
+func (s *Store) EstimateCardinality(pat rdf.Triple) int {
+	return s.Snapshot().EstimateCardinality(pat)
+}
+
+// EstimateCardinalityIDs is EstimateCardinality on an ID pattern.
+func (s *Store) EstimateCardinalityIDs(pat [3]ID) int {
+	return s.Snapshot().EstimateCardinalityIDs(pat)
 }
 
 // Subjects returns the distinct subjects of triples with the given
@@ -526,4 +585,252 @@ func (s *Store) Objects(sub, p rdf.Term) []rdf.Term {
 // Triples returns every triple in the store in deterministic order.
 func (s *Store) Triples() []rdf.Triple {
 	return s.Match(rdf.Triple{})
+}
+
+// --- Write path: generation-stamped copy-on-write batches ---
+
+// writer builds the next snapshot for one write batch. It starts as a
+// shallow copy of the current snapshot and clones structures lazily,
+// gen-stamping each clone so later writes in the same batch mutate the
+// private copies in place. Callers hold Store.wmu throughout.
+type writer struct {
+	next  Snapshot
+	gen   uint64
+	dirty bool
+}
+
+// begin opens a write batch. Caller holds wmu.
+func (s *Store) begin() *writer {
+	s.gen++
+	return &writer{next: *s.snap.Load(), gen: s.gen}
+}
+
+// commit publishes the batch if it changed anything. Caller holds wmu.
+func (s *Store) commit(w *writer) {
+	if !w.dirty {
+		return
+	}
+	w.next.gen = w.gen
+	sn := w.next
+	s.snap.Store(&sn)
+}
+
+// editDict returns the batch-private dict root, cloning the published
+// one on first use.
+func (w *writer) editDict() *dict {
+	d := w.next.d
+	if d.gen != w.gen {
+		d = &dict{gen: w.gen, shards: append([]*dictShard(nil), d.shards...)}
+		w.next.d = d
+	}
+	return d
+}
+
+// intern returns the ID for t, assigning one if needed.
+func (w *writer) intern(t rdf.Term) ID {
+	si := termShard(t)
+	if sh := w.next.d.shards[si]; sh != nil {
+		if id, ok := sh.m[t]; ok {
+			return id
+		}
+	}
+	d := w.editDict()
+	sh := d.shards[si]
+	if sh == nil {
+		sh = &dictShard{gen: w.gen, m: make(map[rdf.Term]ID, 4)}
+		d.shards[si] = sh
+	} else if sh.gen != w.gen {
+		m := make(map[rdf.Term]ID, len(sh.m)+1)
+		for k, v := range sh.m {
+			m[k] = v
+		}
+		sh = &dictShard{gen: w.gen, m: m}
+		d.shards[si] = sh
+	}
+	// The inverse slice is append-only: growing it in place is safe
+	// because published snapshots only read up to their own length.
+	w.next.inverse = append(w.next.inverse, t)
+	id := ID(len(w.next.inverse))
+	sh.m[t] = id
+	w.dirty = true
+	return id
+}
+
+// editBucket returns the batch-private bucket for first-position id in
+// *ixp, cloning the index root, the page and the bucket as needed (and
+// creating them when absent).
+func (w *writer) editBucket(ixp **index, id ID) *bucket {
+	ix := *ixp
+	if ix.gen != w.gen {
+		ix = &index{gen: w.gen, pages: append([]*page(nil), ix.pages...)}
+		*ixp = ix
+	}
+	pi := int(id) >> pageBits
+	for pi >= len(ix.pages) {
+		ix.pages = append(ix.pages, nil)
+	}
+	pg := ix.pages[pi]
+	if pg == nil {
+		pg = &page{gen: w.gen}
+		ix.pages[pi] = pg
+	} else if pg.gen != w.gen {
+		np := &page{gen: w.gen, slots: pg.slots}
+		ix.pages[pi] = np
+		pg = np
+	}
+	sl := int(id) & pageMask
+	bk := pg.slots[sl]
+	if bk == nil {
+		bk = &bucket{gen: w.gen, entries: make(map[ID]listEntry, 4)}
+		pg.slots[sl] = bk
+	} else if bk.gen != w.gen {
+		nb := &bucket{gen: w.gen, entries: make(map[ID]listEntry, len(bk.entries)+1)}
+		for k, v := range bk.entries {
+			nb.entries[k] = v
+		}
+		nb.keys.Store(bk.keys.Load()) // carried over; dropped if keys change
+		pg.slots[sl] = nb
+		bk = nb
+	}
+	return bk
+}
+
+// insert adds c to the sorted, unique list at [a][b] of *ixp. The
+// caller has already established that c is absent.
+func (w *writer) insert(ixp **index, a, b, c ID) {
+	bk := w.editBucket(ixp, a)
+	e, had := bk.entries[b]
+	i := sort.Search(len(e.ids), func(i int) bool { return e.ids[i] >= c })
+	if e.gen == w.gen {
+		e.ids = append(e.ids, 0)
+		copy(e.ids[i+1:], e.ids[i:])
+		e.ids[i] = c
+	} else {
+		nl := make([]ID, len(e.ids)+1)
+		copy(nl, e.ids[:i])
+		nl[i] = c
+		copy(nl[i+1:], e.ids[i:])
+		e.ids = nl
+		e.gen = w.gen
+	}
+	bk.entries[b] = e
+	if !had {
+		bk.keys.Store(nil)
+	}
+}
+
+// removeOne deletes c from the list at [a][b] of *ixp, pruning empty
+// lists and buckets. The caller has already established that c is
+// present.
+func (w *writer) removeOne(ixp **index, a, b, c ID) {
+	bk := w.editBucket(ixp, a)
+	e := bk.entries[b]
+	i := sort.Search(len(e.ids), func(i int) bool { return e.ids[i] >= c })
+	if e.gen == w.gen {
+		e.ids = append(e.ids[:i], e.ids[i+1:]...)
+	} else {
+		nl := make([]ID, len(e.ids)-1)
+		copy(nl, e.ids[:i])
+		copy(nl[i:], e.ids[i+1:])
+		e.ids = nl
+		e.gen = w.gen
+	}
+	if len(e.ids) == 0 {
+		delete(bk.entries, b)
+		bk.keys.Store(nil)
+		if len(bk.entries) == 0 {
+			// editBucket made the page private; clear the slot.
+			(*ixp).pages[int(a)>>pageBits].slots[int(a)&pageMask] = nil
+		}
+		return
+	}
+	bk.entries[b] = e
+}
+
+// addIDs indexes an already-interned triple, returning whether it was new.
+func (w *writer) addIDs(sid, pid, oid ID) bool {
+	lst := w.next.spo.list(sid, pid)
+	if i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid }); i < len(lst) && lst[i] == oid {
+		return false
+	}
+	w.insert(&w.next.spo, sid, pid, oid)
+	w.insert(&w.next.pos, pid, oid, sid)
+	w.insert(&w.next.osp, oid, sid, pid)
+	w.next.size++
+	w.dirty = true
+	return true
+}
+
+// removeIDs unindexes a triple, returning whether it was present.
+func (w *writer) removeIDs(sid, pid, oid ID) bool {
+	lst := w.next.spo.list(sid, pid)
+	if i := sort.Search(len(lst), func(i int) bool { return lst[i] >= oid }); i >= len(lst) || lst[i] != oid {
+		return false
+	}
+	w.removeOne(&w.next.spo, sid, pid, oid)
+	w.removeOne(&w.next.pos, pid, oid, sid)
+	w.removeOne(&w.next.osp, oid, sid, pid)
+	w.next.size--
+	w.dirty = true
+	return true
+}
+
+// addTriple interns and indexes one ground triple.
+func (w *writer) addTriple(t rdf.Triple) bool {
+	if t.S.IsVar() || t.P.IsVar() || t.O.IsVar() {
+		return false
+	}
+	return w.addIDs(w.intern(t.S), w.intern(t.P), w.intern(t.O))
+}
+
+// Add inserts a triple. It reports whether the triple was new. Variable
+// terms are rejected (store data must be ground).
+func (s *Store) Add(t rdf.Triple) bool {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	w := s.begin()
+	added := w.addTriple(t)
+	s.commit(w)
+	return added
+}
+
+// AddAll inserts every triple as one atomic batch and returns the
+// number newly added. Readers observe either none or all of the batch:
+// the new snapshot is published once, after the whole batch is indexed.
+// For bulk loads this also amortises the copy-on-write cloning across
+// the batch.
+func (s *Store) AddAll(ts []rdf.Triple) int {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	w := s.begin()
+	n := 0
+	for _, t := range ts {
+		if w.addTriple(t) {
+			n++
+		}
+	}
+	s.commit(w)
+	return n
+}
+
+// RemoveAll deletes every listed triple as one atomic batch and returns
+// the number actually removed. Dictionary entries are retained (IDs are
+// never reused), so add/remove churn of the same triples reaches a
+// steady state with no unbounded growth.
+func (s *Store) RemoveAll(ts []rdf.Triple) int {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	w := s.begin()
+	n := 0
+	for _, t := range ts {
+		ids, ok := w.next.patternIDs(t)
+		if !ok || ids[0] == 0 || ids[1] == 0 || ids[2] == 0 {
+			continue // unknown term or non-ground: nothing to remove
+		}
+		if w.removeIDs(ids[0], ids[1], ids[2]) {
+			n++
+		}
+	}
+	s.commit(w)
+	return n
 }

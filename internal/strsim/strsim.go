@@ -11,12 +11,38 @@ package strsim
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"unicode"
+	"unicode/utf8"
 )
+
+// asciiOnly reports whether s contains only ASCII bytes.
+func asciiOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// lowerASCII folds one ASCII byte to lower case.
+func lowerASCII(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		c += 'a' - 'A'
+	}
+	return c
+}
+
+const lcsStackLen = 64
 
 // LCSLength returns the length of the longest common subsequence of a and
 // b, computed case-insensitively over runes.
 func LCSLength(a, b string) int {
+	if asciiOnly(a) && asciiOnly(b) {
+		return lcsASCII(a, b)
+	}
 	ra := []rune(strings.ToLower(a))
 	rb := []rune(strings.ToLower(b))
 	if len(ra) == 0 || len(rb) == 0 {
@@ -40,16 +66,92 @@ func LCSLength(a, b string) int {
 	return prev[len(rb)]
 }
 
+// lcsASCII is LCSLength for pure-ASCII inputs: bytes are the runes, the
+// case fold is a byte op, and short inputs (every §2.2 word/property
+// pair in practice) run the dynamic program on stack rows — the §2.2
+// scoring loop calls this for every (word, property) pair, so the zero
+// allocations matter.
+func lcsASCII(a, b string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var rowBuf [2 * lcsStackLen]int
+	var prev, cur []int
+	if len(b)+1 <= lcsStackLen {
+		prev, cur = rowBuf[:len(b)+1], rowBuf[lcsStackLen:lcsStackLen+len(b)+1]
+	} else {
+		prev = make([]int, len(b)+1)
+		cur = make([]int, len(b)+1)
+	}
+	for i := 1; i <= len(a); i++ {
+		ca := lowerASCII(a[i-1])
+		for j := 1; j <= len(b); j++ {
+			if ca == lowerASCII(b[j-1]) {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
 // GCSScore is the paper's greatest-common-subsequence score for matching
 // a question word against a candidate property name: LCS(word, name)
 // divided by len(word). A score of 1.0 means every character of the word
 // appears, in order, inside the candidate.
 func GCSScore(word, candidate string) float64 {
-	w := []rune(strings.ToLower(word))
-	if len(w) == 0 {
+	var n int
+	if asciiOnly(word) {
+		n = len(word)
+	} else {
+		n = utf8.RuneCountInString(strings.ToLower(word))
+	}
+	if n == 0 {
 		return 0
 	}
-	return float64(LCSLength(word, candidate)) / float64(len(w))
+	return float64(LCSLength(word, candidate)) / float64(n)
+}
+
+// splitCache memoises lowercased SplitIdentifier parts for the §2.2
+// scoring guards. The candidates there are KB property names — a
+// bounded set scored against every question word — so caching their
+// splits removes the dominant allocation of the mapping stage.
+// splitCacheMax bounds the cache in case a caller feeds unbounded
+// inputs.
+var (
+	splitCache     sync.Map // string -> []string, lowercased, immutable
+	splitCacheSize atomic.Int64
+)
+
+const splitCacheMax = 1 << 14
+
+func splitCachedLower(s string) []string {
+	if v, ok := splitCache.Load(s); ok {
+		return v.([]string)
+	}
+	parts := SplitIdentifier(s)
+	for i, p := range parts {
+		parts[i] = foldLower(p)
+	}
+	if splitCacheSize.Add(1) <= splitCacheMax {
+		splitCache.Store(s, parts)
+	}
+	return parts
+}
+
+// foldLower is strings.ToLower that returns s unchanged (no allocation)
+// when it is already lower-case ASCII.
+func foldLower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= utf8.RuneSelf || ('A' <= c && c <= 'Z') {
+			return strings.ToLower(s)
+		}
+	}
+	return s
 }
 
 // WordBoundaryContains reports whether word occurs in candidate aligned to
@@ -58,7 +160,7 @@ func GCSScore(word, candidate string) float64 {
 // not start at a word boundary, so the guard rejects it, while "writer"
 // against "writer" or "place" against "birthPlace" pass.
 func WordBoundaryContains(word, candidate string) bool {
-	for _, part := range SplitIdentifier(candidate) {
+	for _, part := range splitCachedLower(candidate) {
 		if strings.EqualFold(part, word) {
 			return true
 		}
@@ -88,10 +190,9 @@ func PropertyScore(word, propertyName string) float64 {
 	// arm demands at least one shared letter: for a one-letter word
 	// len(wl)-1 is 0, which every candidate trivially satisfies,
 	// letting any accidental subsequence escape the damping.
-	wl := strings.ToLower(word)
+	wl := foldLower(word)
 	aligned := false
-	for _, part := range SplitIdentifier(propertyName) {
-		p := strings.ToLower(part)
+	for _, p := range splitCachedLower(propertyName) {
 		if sp := sharedPrefix(wl, p); sp >= 3 || (sp >= 1 && sp >= len(wl)-1) {
 			aligned = true
 			break

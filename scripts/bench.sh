@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # Runs the tentpole benchmarks — the ID-space engine vs. the retained
-# term-space reference path (PR 1) and the concurrent candidate fan-out
-# vs. sequential rank-order execution (PR 2) — and emits BENCH_PR2.json
-# with ns/op and allocs/op per benchmark, so later PRs have a perf
-# trajectory to compare against.
+# term-space reference path (PR 1), the concurrent candidate fan-out
+# vs. sequential rank-order execution (PR 2), and the wait-free
+# snapshot-read pair (PR 3: BenchmarkBGPJoinIdle vs
+# BenchmarkBGPJoinUnderLoad, the same join with a bulk AddAll/RemoveAll
+# churn loop running) — and emits BENCH_PR3.json with ns/op and
+# allocs/op per benchmark, so later PRs have a perf trajectory to
+# compare against. The under-load number measures the wait-free claim:
+# reader latency must stay within 2x of the idle baseline instead of
+# stalling for whole write batches.
 #
 # The JSON records gomaxprocs: the Extract{Sequential,Parallel*}
 # comparison only shows a wall-clock gap on multi-core hosts (the
@@ -15,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \

@@ -11,7 +11,10 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/patterns"
 	"repro/internal/propmap"
 	"repro/internal/qald"
+	"repro/internal/qaserve"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
@@ -716,3 +720,92 @@ func BenchmarkSnapshotRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// --- PR 4: staged pipeline + serving layer ---
+
+// BenchmarkAnswerCtx is BenchmarkAnswerThroughput through the staged
+// AnswerCtx entry point: the pair bounds the overhead of the pipeline
+// framework (stage dispatch, trace recording, ctx checks) against the
+// monolithic PR 3 loop.
+func BenchmarkAnswerCtx(b *testing.B) {
+	s := sharedSystem(b)
+	ctx := context.Background()
+	questions := []string{
+		"Which book is written by Orhan Pamuk?",
+		"Who is the mayor of Berlin?",
+		"Where did Abraham Lincoln die?",
+		"How many people live in Istanbul?",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.AnswerCtx(ctx, questions[i%len(questions)])
+	}
+}
+
+var (
+	serveOnce sync.Once
+	serveSys  *core.System
+)
+
+// servingSystem builds one cache-enabled System for the serving
+// benchmarks (separate from sharedSystem: the cache changes results'
+// provenance, never their content).
+func servingSystem(b *testing.B) *core.System {
+	b.Helper()
+	serveOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.CacheSize = 1024
+		serveSys = core.New(cfg)
+	})
+	return serveSys
+}
+
+// benchmarkServeAnswer drives POST /v1/answer through the handler (no
+// network, httptest recorders) with the answer cache warm or cold per
+// iteration batch.
+func benchmarkServeAnswer(b *testing.B, cached bool) {
+	srv := qaserve.New(qaserve.Config{Sys: servingSystem(b)})
+	h := srv.Handler()
+	questions := []string{
+		"Which book is written by Orhan Pamuk?",
+		"Who is the mayor of Berlin?",
+		"Where did Abraham Lincoln die?",
+		"How many people live in Istanbul?",
+	}
+	bodyFor := func(i int) *bytes.Reader {
+		q := questions[i%len(questions)]
+		if !cached {
+			// A unique suffix defeats the cache key (the question still
+			// answers identically: trailing '?' variants normalise, so
+			// vary the text itself).
+			q = fmt.Sprintf("%s (%d)", q, i)
+		}
+		body, _ := json.Marshal(map[string]string{"question": q})
+		return bytes.NewReader(body)
+	}
+	if cached { // warm the cache
+		for i := 0; i < len(questions); i++ {
+			req := httptest.NewRequest("POST", "/v1/answer", bodyFor(i))
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/answer", bodyFor(i))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkServeAnswerCached serves repeat questions from the answer
+// cache (the steady state of a production query distribution's head).
+func BenchmarkServeAnswerCached(b *testing.B) { benchmarkServeAnswer(b, true) }
+
+// BenchmarkServeAnswerUncached forces a full pipeline run per request
+// (every question textually fresh).
+func BenchmarkServeAnswerUncached(b *testing.B) { benchmarkServeAnswer(b, false) }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qa [-explain] [-top N] [-kb file.nt] [-parallel N] "Which book is written by Orhan Pamuk?"
+//	qa [-explain] [-top N] [-kb file.nt] [-parallel N] [-timeout 2s] [-cache N] "Which book is written by Orhan Pamuk?"
 //	qa -i       # interactive: one question per line on stdin
 //
 // With no arguments it answers a demonstration set of questions.
@@ -13,10 +13,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kb"
@@ -28,20 +30,17 @@ func main() {
 	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
 	interactive := flag.Bool("i", false, "interactive mode: read one question per line from stdin")
 	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "per-question deadline; the pipeline cancels at the next stage/join boundary (0 = none)")
+	cacheSize := flag.Int("cache", 0, "answer cache entries, useful with -i (0 = disabled)")
 	flag.Parse()
 
 	var sys *core.System
-	if *kbPath != "" || *parallel != 0 {
+	if *kbPath != "" || *parallel != 0 || *cacheSize != 0 {
 		cfg := core.DefaultConfig()
 		cfg.Parallelism = *parallel
+		cfg.CacheSize = *cacheSize
 		if *kbPath != "" {
-			f, err := os.Open(*kbPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "qa:", err)
-				os.Exit(1)
-			}
-			loaded, err := kb.Load(f, *kbPath)
-			f.Close()
+			loaded, err := kb.LoadFile(*kbPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "qa:", err)
 				os.Exit(1)
@@ -61,7 +60,7 @@ func main() {
 			if q == "" || q == "exit" || q == "quit" {
 				break
 			}
-			answerOne(sys, q, *explain, *top)
+			answerOne(sys, q, *explain, *top, *timeout)
 			fmt.Print("> ")
 		}
 		return
@@ -80,37 +79,56 @@ func main() {
 	if len(flag.Args()) > 1 && strings.Contains(flag.Args()[0], " ") {
 		// Multiple quoted questions: answer each.
 		for _, q := range flag.Args() {
-			answerOne(sys, q, *explain, *top)
+			answerOne(sys, q, *explain, *top, *timeout)
 		}
 		return
 	}
 	if len(flag.Args()) == 0 {
 		for _, q := range questions {
-			answerOne(sys, q, *explain, *top)
+			answerOne(sys, q, *explain, *top, *timeout)
 		}
 		return
 	}
-	answerOne(sys, question, *explain, *top)
+	answerOne(sys, question, *explain, *top, *timeout)
 }
 
-func answerOne(sys *core.System, q string, explain bool, top int) {
-	res := sys.Answer(q)
+func answerOne(sys *core.System, q string, explain bool, top int, timeout time.Duration) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res := sys.AnswerCtx(ctx, q)
 	fmt.Printf("Q: %s\n", q)
 	if explain {
 		printTrace(sys, res, top)
+		if res.Trace != nil {
+			fmt.Println("-- stage timings --")
+			for _, st := range res.Trace.Stages {
+				extra := ""
+				if st.Candidates > 0 {
+					extra = fmt.Sprintf("  candidates=%d", st.Candidates)
+				}
+				if st.CacheHit {
+					extra += "  cache=hit"
+				}
+				fmt.Printf("   %-8s %10v%s\n", st.Stage, st.Duration.Round(time.Microsecond), extra)
+			}
+		}
 	}
 	if res.Answered() {
 		fmt.Printf("A: %s\n\n", strings.Join(res.AnswerStrings(sys.KB), "; "))
 		return
 	}
+	// Unanswered is a legitimate outcome, not an error: report it and
+	// keep going (the demo set, multi-question and -i modes continue
+	// with the next question).
 	fmt.Printf("A: (no answer — %s", res.Status)
 	if res.Err != nil {
 		fmt.Printf(": %v", res.Err)
 	}
 	fmt.Print(")\n\n")
-	if res.Status == core.StatusNotExtracted || res.Status == core.StatusNotMapped {
-		os.Exit(0) // unanswered is a legitimate outcome, not an error
-	}
 }
 
 func printTrace(sys *core.System, res *core.Result, top int) {

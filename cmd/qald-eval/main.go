@@ -11,6 +11,7 @@
 //	qald-eval -by-category     # per-category breakdown
 //	qald-eval -workers 8       # answer questions concurrently
 //	qald-eval -parallel 4      # bound the per-question candidate fan-out
+//	qald-eval -timeout 30s     # deadline for the whole evaluation
 //
 // The two parallelism layers compose: -workers batches questions across
 // goroutines while -parallel bounds the candidate-query fan-out inside
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ func main() {
 	extensions := flag.Bool("extensions", false, "enable the future-work boolean/aggregation extensions")
 	workers := flag.Int("workers", 1, "question-level parallelism: answer up to N questions concurrently")
 	parallel := flag.Int("parallel", 0, "candidate-query fan-out per question (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "deadline for the whole evaluation; cancellation reaches every stage boundary (0 = none)")
 	flag.Parse()
 
 	if *table1 {
@@ -50,7 +53,13 @@ func main() {
 		cfg.EnableSuperlatives = true
 	}
 	sys := core.New(cfg)
-	rep, err := qald.EvaluateWorkers(sys, qald.Questions(), *workers)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := qald.EvaluateWorkersCtx(ctx, sys, qald.Questions(), *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qald-eval:", err)
 		os.Exit(1)

@@ -1,0 +1,105 @@
+// Command qaserve serves the question answering pipeline over
+// HTTP/JSON: POST /v1/answer and /v1/answer/batch answer questions,
+// GET /healthz reports liveness and KB snapshot state, GET /metrics
+// exports Prometheus-style counters and per-stage latency histograms
+// built from each request's pipeline trace.
+//
+// Usage:
+//
+//	qaserve [-addr :8080] [-timeout 5s] [-max-inflight 64] [-cache 1024]
+//	        [-parallel N] [-kb file.nt] [-drain 15s] [-extensions]
+//
+// See cmd/qaserve/README.md for the endpoint contracts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/qaserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request pipeline timeout (0 = none)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently served requests; excess answers 503 (0 = unlimited)")
+	maxBatch := flag.Int("max-batch", 64, "max questions per /v1/answer/batch request")
+	cacheSize := flag.Int("cache", 1024, "answer cache entries, keyed on normalized question text (0 = disabled)")
+	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers per question (0 = GOMAXPROCS, 1 = sequential)")
+	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	extensions := flag.Bool("extensions", false, "enable the future-work boolean/aggregation/superlative extensions")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = *parallel
+	cfg.CacheSize = *cacheSize
+	if *extensions {
+		cfg.EnableBoolean = true
+		cfg.EnableAggregation = true
+		cfg.EnableSuperlatives = true
+	}
+	if *kbPath != "" {
+		loaded, err := kb.LoadFile(*kbPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qaserve:", err)
+			os.Exit(1)
+		}
+		cfg.KB = loaded
+	}
+
+	fmt.Fprintf(os.Stderr, "qaserve: building pipeline (mining patterns)...\n")
+	start := time.Now()
+	sys := core.New(cfg)
+	fmt.Fprintf(os.Stderr, "qaserve: pipeline ready in %v (%d triples)\n",
+		time.Since(start).Round(time.Millisecond), sys.KB.Store.Len())
+
+	srv := qaserve.New(qaserve.Config{
+		Sys:            sys,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "qaserve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "qaserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests.
+	fmt.Fprintf(os.Stderr, "qaserve: shutting down (draining up to %v)...\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "qaserve: drain incomplete:", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "qaserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "qaserve: drained, bye")
+}

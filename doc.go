@@ -48,6 +48,25 @@
 // qald-eval -workers) — the pipeline is read-only after construction
 // and the store supports parallel readers.
 //
+// The top layer is an explicit staged pipeline with a serving surface.
+// internal/core composes the paper's three sections as request-scoped
+// stages over a shared Result (internal/pipeline): every stage takes a
+// context.Context — cancellation and deadlines are enforced at each
+// stage boundary, and inside §2.3 between candidate queries and
+// between join steps — and records per-stage wall time, candidate
+// counts and cache hit/miss in the Result's Trace. core.AnswerCtx is
+// the request-scoped entry point (Answer wraps it with a background
+// context and is byte-identical to the pre-staged pipeline). When
+// enabled, a bounded sharded LRU over normalized question text
+// (internal/qacache) mounts as the first stage; entries are stamped
+// with the KB snapshot generation, so any store write — including the
+// single-triple store.Remove — invalidates every cached answer.
+// cmd/qaserve serves the pipeline over HTTP/JSON (POST /v1/answer and
+// /v1/answer/batch, GET /healthz and /metrics with per-stage latency
+// histograms built from the traces) with per-request timeouts, an
+// in-flight limit and graceful shutdown; internal/qaserve holds the
+// handlers and metrics.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured numbers, and bench_test.go for the per-table/figure
 // regeneration harness.

@@ -19,6 +19,12 @@
 // Result is byte-identical to sequential execution (Parallelism: 1).
 // The ASK boolean path and the COUNT aggregation retry ride the same
 // rank-order commit protocol; see fanout.go.
+//
+// The fan-out is request-scoped: ExtractCtx threads the caller's
+// context through the pool, so a deadline expiring mid-§2.3 aborts
+// in-flight queries at their next join-step check and returns ctx.Err()
+// with every worker drained. Extract is the context-free compatibility
+// wrapper.
 package answer
 
 import (
@@ -121,6 +127,20 @@ func (e *ErrBoolean) Error() string {
 
 // Extract builds, ranks and executes the candidate queries.
 func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
+	return e.ExtractCtx(context.Background(), mp)
+}
+
+// ExtractCtx is Extract under a request context: candidate execution
+// honours cancellation at every fan-out boundary (between candidates on
+// the sequential path, between join steps inside each query via
+// sparql.ExecuteCtx on both paths). When the context is cancelled
+// before a winner commits, ExtractCtx returns ctx.Err() promptly —
+// bounded by one join step — with all fan-out goroutines drained, and
+// the Extractor stays reusable for later calls.
+func (e *Extractor) ExtractCtx(ctx context.Context, mp *propmap.Mapping) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	expected := mp.Extraction.Expected
 	if expected.Kind == triplex.ExpectBoolean && !e.cfg.EnableBoolean {
 		return nil, &ErrBoolean{Question: mp.Extraction.Question}
@@ -200,16 +220,20 @@ func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
 	})
 
 	if boolean {
-		return e.executeBoolean(res)
+		return e.executeBoolean(ctx, res)
 	}
 
-	e.executeSelect(res, expected)
+	if err := e.executeSelect(ctx, res, expected); err != nil {
+		return nil, err
+	}
 
 	// Future-work COUNT extension: a numeric question whose queries
 	// only return entities answers with the distinct result count.
 	if res.Winning == nil && e.cfg.EnableAggregation &&
 		expected.Kind == triplex.ExpectNumeric {
-		e.executeAggregation(res)
+		if err := e.executeAggregation(ctx, res); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -238,8 +262,9 @@ type execOutcome struct {
 
 // executeSelect runs the SELECT candidates in rank order across the
 // worker pool; the first query whose (type-filtered) answer set is
-// non-empty wins.
-func (e *Extractor) executeSelect(res *Result, expected triplex.Expected) {
+// non-empty wins. It returns the context error when cancellation
+// stopped the fan-out before a winner committed.
+func (e *Extractor) executeSelect(ctx context.Context, res *Result, expected triplex.Expected) error {
 	exec := func(ctx context.Context, i int) execOutcome {
 		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, res.Candidates[i].Query)
 		if err != nil {
@@ -278,7 +303,8 @@ func (e *Extractor) executeSelect(res *Result, expected triplex.Expected) {
 		}
 		return false
 	}
-	runRanked(e.workers(), len(res.Candidates), exec, commit)
+	_, err := runRanked(ctx, e.workers(), len(res.Candidates), exec, commit)
+	return err
 }
 
 // executeBoolean answers a yes/no question: the first ASK returning
@@ -287,7 +313,7 @@ func (e *Extractor) executeSelect(res *Result, expected triplex.Expected) {
 // candidate that errors contributes nothing — in particular, a question
 // whose every candidate errors stays unanswered instead of answering
 // "false" with full confidence.
-func (e *Extractor) executeBoolean(res *Result) (*Result, error) {
+func (e *Extractor) executeBoolean(ctx context.Context, res *Result) (*Result, error) {
 	boolLit := func(v bool) rdf.Term {
 		if v {
 			return rdf.NewTypedLiteral("true", rdf.XSDBoolean)
@@ -321,7 +347,11 @@ func (e *Extractor) executeBoolean(res *Result) (*Result, error) {
 		}
 		return false
 	}
-	if runRanked(e.workers(), len(res.Candidates), exec, commit) >= 0 {
+	winner, err := runRanked(ctx, e.workers(), len(res.Candidates), exec, commit)
+	if err != nil {
+		return nil, err
+	}
+	if winner >= 0 {
 		return res, nil
 	}
 	if firstOK >= 0 {
@@ -336,7 +366,7 @@ func (e *Extractor) executeBoolean(res *Result) (*Result, error) {
 // executeAggregation retries the candidates as COUNT(DISTINCT ?x)
 // queries on the worker pool, answering with the count of the first
 // (rank-order) candidate whose raw result set is non-empty.
-func (e *Extractor) executeAggregation(res *Result) {
+func (e *Extractor) executeAggregation(ctx context.Context, res *Result) error {
 	type aggOutcome struct {
 		count rdf.Term
 		query *sparql.Query
@@ -382,7 +412,8 @@ func (e *Extractor) executeAggregation(res *Result) {
 		res.Winning = cq
 		return true
 	}
-	runRanked(e.workers(), len(res.Candidates), exec, commit)
+	_, err := runRanked(ctx, e.workers(), len(res.Candidates), exec, commit)
+	return err
 }
 
 func slotTerm(varName string, entity rdf.Term) rdf.Term {

@@ -14,6 +14,13 @@
 // sparql.ExecuteCtx. The observable Result is therefore byte-identical
 // to sequential execution, which is also exactly what a 1-worker pool
 // degenerates to.
+//
+// The pool is request-scoped: runRanked takes the caller's context and
+// derives the per-fan-out cancel context from it, so a request deadline
+// expiring mid-fan-out stops the pool promptly — no new candidates are
+// handed out, in-flight executions abort at their next join-step check,
+// and runRanked returns ctx.Err() once the workers have drained (it
+// never leaks goroutines: every return path waits for the pool).
 
 package answer
 
@@ -25,34 +32,44 @@ import (
 // runRanked executes exec(ctx, i) for every i in [0, n) across at most
 // `workers` goroutines and calls commit(i, v) strictly in index order
 // as outcomes become available. commit returning true declares i the
-// winner: the shared context is cancelled, no further index is handed
+// winner: the fan-out context is cancelled, no further index is handed
 // out, and no index past the winner is ever committed. Returns the
 // winner's index, or -1 when every candidate was committed without a
 // win.
 //
+// parent is the request context: when it is cancelled before a winner
+// has committed, runRanked stops handing out candidates, waits for
+// in-flight executions to abort (sparql.ExecuteCtx checks between join
+// steps, so the wait is bounded by one join step) and returns
+// parent.Err(). A winner that committed before the cancellation was
+// observed is still returned with a nil error.
+//
 // exec must be safe for concurrent use and must not touch state commit
 // writes; commit runs serialized (under the pool mutex) and is the only
 // place outcomes become visible.
-func runRanked[T any](workers, n int, exec func(ctx context.Context, i int) T, commit func(i int, v T) bool) int {
+func runRanked[T any](parent context.Context, workers, n int, exec func(ctx context.Context, i int) T, commit func(i int, v T) bool) (int, error) {
 	if n == 0 {
-		return -1
+		return -1, parent.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		// Sequential reference semantics: execute and commit in rank
-		// order, stopping at the first winner.
-		ctx := context.Background()
+		// order, stopping at the first winner. The context is checked
+		// between candidates (exec itself aborts between join steps).
 		for i := 0; i < n; i++ {
-			if commit(i, exec(ctx, i)) {
-				return i
+			if err := parent.Err(); err != nil {
+				return -1, err
+			}
+			if commit(i, exec(parent, i)) {
+				return i, nil
 			}
 		}
-		return -1
+		return -1, parent.Err()
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	var (
 		mu      sync.Mutex
@@ -69,7 +86,7 @@ func runRanked[T any](workers, n int, exec func(ctx context.Context, i int) T, c
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if winner >= 0 || next >= n {
+				if winner >= 0 || next >= n || parent.Err() != nil {
 					mu.Unlock()
 					return
 				}
@@ -80,7 +97,7 @@ func runRanked[T any](workers, n int, exec func(ctx context.Context, i int) T, c
 				v := exec(ctx, i)
 
 				mu.Lock()
-				if winner >= 0 {
+				if winner >= 0 || parent.Err() != nil {
 					mu.Unlock()
 					return
 				}
@@ -104,5 +121,8 @@ func runRanked[T any](workers, n int, exec func(ctx context.Context, i int) T, c
 		}()
 	}
 	wg.Wait()
-	return winner
+	if winner >= 0 {
+		return winner, nil
+	}
+	return -1, parent.Err()
 }

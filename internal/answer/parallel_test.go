@@ -26,7 +26,7 @@ func TestRunRankedCommitOrder(t *testing.T) {
 		const n, win = 100, 60
 		var order []int
 		var executed atomic.Int64
-		winner := runRanked(workers, n,
+		winner, err := runRanked(context.Background(), workers, n,
 			func(_ context.Context, i int) int { executed.Add(1); return i },
 			func(i, v int) bool {
 				if v != i {
@@ -35,6 +35,9 @@ func TestRunRankedCommitOrder(t *testing.T) {
 				order = append(order, i)
 				return i == win
 			})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
 		if winner != win {
 			t.Fatalf("workers=%d: winner = %d, want %d", workers, winner, win)
 		}
@@ -56,9 +59,12 @@ func TestRunRankedCommitOrder(t *testing.T) {
 func TestRunRankedNoWinner(t *testing.T) {
 	for _, workers := range []int{1, 3, 9} {
 		var committed atomic.Int64
-		winner := runRanked(workers, 50,
+		winner, err := runRanked(context.Background(), workers, 50,
 			func(_ context.Context, i int) int { return i },
 			func(i, v int) bool { committed.Add(1); return false })
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
 		if winner != -1 {
 			t.Fatalf("winner = %d, want -1", winner)
 		}
@@ -357,7 +363,7 @@ func TestBooleanAllErrorsStaysUnanswered(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
 		res := &Result{Candidates: []CandidateQuery{brokenQuery(), brokenQuery()}}
-		if _, err := e.executeBoolean(res); err != nil {
+		if _, err := e.executeBoolean(context.Background(), res); err != nil {
 			t.Fatal(err)
 		}
 		if res.Winning != nil || len(res.Answers) != 0 {
@@ -379,7 +385,7 @@ func TestBooleanFallbackSkipsErroredCandidates(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
 		res := &Result{Candidates: []CandidateQuery{brokenQuery(), falseAsk}}
-		if _, err := e.executeBoolean(res); err != nil {
+		if _, err := e.executeBoolean(context.Background(), res); err != nil {
 			t.Fatal(err)
 		}
 		if res.Winning == nil {
@@ -400,7 +406,7 @@ func TestBooleanTrueStillWinsPastErrors(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
 		res := &Result{Candidates: []CandidateQuery{brokenQuery(), trueAsk}}
-		if _, err := e.executeBoolean(res); err != nil {
+		if _, err := e.executeBoolean(context.Background(), res); err != nil {
 			t.Fatal(err)
 		}
 		if res.Winning != &res.Candidates[1] || res.Answers[0].Value != "true" {

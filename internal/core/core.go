@@ -1,20 +1,39 @@
-// Package core assembles the paper's full question answering pipeline:
+// Package core assembles the paper's full question answering pipeline
+// as an explicit staged architecture:
 //
 //	question
-//	  → §2.1 triple pattern extraction   (internal/triplex)
-//	  → §2.2 entity & property mapping   (internal/propmap)
-//	  → §2.3 answer extraction           (internal/answer)
+//	  → cache   — answer cache lookup (config-gated, generation-keyed)
+//	  → triplex — §2.1 triple pattern extraction   (internal/triplex)
+//	  → propmap — §2.2 entity & property mapping   (internal/propmap)
+//	  → answer  — §2.3 answer extraction           (internal/answer)
 //	  → ranked answers
 //
+// Each stage runs behind the uniform request-scoped interface of
+// internal/pipeline: it takes a context.Context (cancellation and
+// deadlines are honoured at every stage boundary, and inside the §2.3
+// fan-out between join steps), writes its outcome into the shared
+// Result, and records itself in the Result's Trace (per-stage wall
+// time, candidate counts, cache hit/miss). The Trace is what the
+// serving layer (cmd/qaserve) exports as per-stage latency metrics.
+//
 // System is the public entry point: build one with New (or share the
-// process-wide Default) and call Answer. The Result records every
-// intermediate stage, so callers can inspect the extracted triples, the
-// candidate property sets, the generated SPARQL queries and the ranking
-// — the trace the paper walks through for "Which book is written by
-// Orhan Pamuk?".
+// process-wide Default) and call AnswerCtx — or Answer, the
+// context-free compatibility wrapper, which is byte-identical to the
+// pre-staged pipeline. The Result records every intermediate stage, so
+// callers can inspect the extracted triples, the candidate property
+// sets, the generated SPARQL queries and the ranking — the trace the
+// paper walks through for "Which book is written by Orhan Pamuk?".
+//
+// The answer cache (internal/qacache) is mounted as the first stage
+// when Config.CacheSize > 0: entries are keyed on normalized question
+// text and stamped with the KB snapshot generation, so any store write
+// (including a single-triple store.Remove) invalidates every previously
+// cached answer. With the cache disabled — the default, and the
+// paper-faithful configuration — the pipeline is fully deterministic.
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -23,7 +42,9 @@ import (
 	"repro/internal/kb"
 	"repro/internal/ner"
 	"repro/internal/patterns"
+	"repro/internal/pipeline"
 	"repro/internal/propmap"
+	"repro/internal/qacache"
 	"repro/internal/rdf"
 	"repro/internal/triplex"
 	"repro/internal/wordnet"
@@ -35,9 +56,13 @@ import (
 type Config struct {
 	// KB to answer over; nil uses kb.Default().
 	KB *kb.KB
-	// Corpus controls the pattern-mining corpus.
+	// Corpus controls the pattern-mining corpus. A completely zero
+	// CorpusConfig means "use kb.DefaultCorpusConfig()"; a config with
+	// any field set is taken verbatim, so explicit zero values of
+	// individual fields are honoured (see applyDefaults).
 	Corpus kb.CorpusConfig
-	// Miner tunes the PATTY-style miner.
+	// Miner tunes the PATTY-style miner, with the same zero-struct
+	// semantics as Corpus.
 	Miner patterns.MinerConfig
 
 	// Ablation switches.
@@ -57,6 +82,13 @@ type Config struct {
 	// GOMAXPROCS, 1 = sequential). Answers are identical at every
 	// setting; see internal/answer's commit protocol.
 	Parallelism int
+
+	// CacheSize enables the answer cache when > 0: a bounded, sharded
+	// LRU over normalized question text mounted as the pipeline's first
+	// stage, holding at most CacheSize results. Entries are invalidated
+	// by any KB snapshot generation change. 0 disables caching (the
+	// paper-faithful default).
+	CacheSize int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -66,6 +98,33 @@ func DefaultConfig() Config {
 		Miner:  patterns.DefaultMinerConfig(),
 	}
 }
+
+// applyDefaults fills the config sections the caller left completely
+// unset. The sentinel is the zero struct: a Corpus or Miner config
+// equal to its type's zero value selects the package default, while a
+// config with any field set is used verbatim — so an explicit
+// MinerConfig{MinSupport: 0, SubsumeThreshold: 0.9} keeps its zero
+// MinSupport instead of being silently clobbered (the old per-field
+// check overwrote any config whose SentencesPerFact/MinSupport happened
+// to be zero).
+func applyDefaults(cfg Config) Config {
+	if cfg.Corpus == (kb.CorpusConfig{}) {
+		cfg.Corpus = kb.DefaultCorpusConfig()
+	}
+	if cfg.Miner == (patterns.MinerConfig{}) {
+		cfg.Miner = patterns.DefaultMinerConfig()
+	}
+	return cfg
+}
+
+// Stage names, in pipeline order. These key the Trace entries and the
+// qaserve per-stage metrics.
+const (
+	StageCache   = "cache"
+	StageTriplex = "triplex"
+	StagePropmap = "propmap"
+	StageAnswer  = "answer"
+)
 
 // System is the assembled pipeline.
 type System struct {
@@ -77,6 +136,11 @@ type System struct {
 	mapper      *propmap.Mapper
 	extractor   *answer.Extractor
 	triplexOpts triplex.Options
+
+	// stages is the staged pipeline AnswerCtx runs; cache is non-nil
+	// only when Config.CacheSize > 0.
+	stages []pipeline.Stage[*Result]
+	cache  *qacache.Cache[*Result]
 }
 
 var (
@@ -91,17 +155,12 @@ func Default() *System {
 }
 
 // New builds a System: links the KB, mines the relational patterns and
-// wires the three pipeline stages.
+// wires the pipeline stages.
 func New(cfg Config) *System {
+	cfg = applyDefaults(cfg)
 	k := cfg.KB
 	if k == nil {
 		k = kb.Default()
-	}
-	if cfg.Corpus.SentencesPerFact == 0 {
-		cfg.Corpus = kb.DefaultCorpusConfig()
-	}
-	if cfg.Miner.MinSupport == 0 {
-		cfg.Miner = patterns.DefaultMinerConfig()
 	}
 	s := &System{KB: k, WordNet: wordnet.Default(), Linker: ner.NewLinker(k)}
 	if !cfg.DisablePatterns {
@@ -119,6 +178,12 @@ func New(cfg Config) *System {
 	ansCfg.Parallelism = cfg.Parallelism
 	s.extractor = answer.New(k, ansCfg)
 	s.triplexOpts = triplex.Options{Superlatives: cfg.EnableSuperlatives}
+
+	if cfg.CacheSize > 0 {
+		s.cache = qacache.New[*Result](cfg.CacheSize)
+		s.stages = append(s.stages, cacheStage{s})
+	}
+	s.stages = append(s.stages, triplexStage{s}, propmapStage{s}, answerStage{s})
 	return s
 }
 
@@ -139,6 +204,9 @@ const (
 	// StatusNoAnswer: queries were built but none returned a
 	// type-conforming result.
 	StatusNoAnswer
+	// StatusCanceled: the request context was cancelled or its deadline
+	// expired before the pipeline completed; Err carries ctx.Err().
+	StatusCanceled
 )
 
 // String names the status.
@@ -154,6 +222,8 @@ func (s Status) String() string {
 		return "unsupported answer form"
 	case StatusNoAnswer:
 		return "no type-conforming answer"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return "unknown"
 	}
@@ -171,10 +241,24 @@ type Result struct {
 	Extraction *triplex.Extraction
 	Mapping    *propmap.Mapping
 	Answer     *answer.Result
+
+	// Trace records the stages that ran on this request: per-stage wall
+	// time, candidate counts and cache hit/miss.
+	Trace *pipeline.Trace
+
+	// snapGen is the KB snapshot generation captured at request start
+	// when the answer cache is enabled; cache lookups and fills both
+	// use it, so a concurrent KB write between them cannot stamp a
+	// stale answer with a fresh generation.
+	snapGen uint64
 }
 
 // Answered reports whether the pipeline produced an answer.
 func (r *Result) Answered() bool { return r.Status == StatusAnswered }
+
+// CacheHit reports whether this result was served from the answer
+// cache.
+func (r *Result) CacheHit() bool { return r.Trace != nil && r.Trace.CacheHit() }
 
 // WinningSPARQL returns the winning query text ("" when unanswered).
 func (r *Result) WinningSPARQL() string {
@@ -205,42 +289,142 @@ func (s *System) SynonymPairsOf(local string) []kb.Property {
 	return s.mapper.SynonymsOf(local)
 }
 
-// Answer runs the pipeline on one question.
-func (s *System) Answer(question string) *Result {
-	res := &Result{Question: strings.TrimSpace(question)}
+// CacheStats returns the answer cache's cumulative hit/miss counts
+// (zeros when the cache is disabled).
+func (s *System) CacheStats() (hits, misses uint64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Stats()
+}
 
-	ext, err := triplex.ExtractOpts(res.Question, s.triplexOpts)
+// --- The pipeline stages ---
+
+// cacheStage serves a request from the answer cache. Mounted only when
+// Config.CacheSize > 0. A hit copies the cached terminal Result into
+// the request's Result (the intermediate artifacts are shared — they
+// are immutable once produced) and stops the pipeline.
+type cacheStage struct{ s *System }
+
+func (st cacheStage) Name() string { return StageCache }
+func (st cacheStage) Run(ctx context.Context, res *Result, tr *StageTrace) error {
+	if cached, ok := st.s.cache.Get(qacache.Normalize(res.Question), res.snapGen); ok {
+		question, trace, gen := res.Question, res.Trace, res.snapGen
+		*res = *cached
+		res.Question, res.Trace, res.snapGen = question, trace, gen
+		tr.CacheHit = true
+		return pipeline.ErrStop
+	}
+	return nil
+}
+
+// triplexStage runs §2.1: triple pattern extraction from the
+// dependency graph.
+type triplexStage struct{ s *System }
+
+func (st triplexStage) Name() string { return StageTriplex }
+func (st triplexStage) Run(ctx context.Context, res *Result, tr *StageTrace) error {
+	ext, err := triplex.ExtractOpts(res.Question, st.s.triplexOpts)
 	res.Extraction = ext
+	if ext != nil {
+		tr.Candidates = len(ext.Triples)
+	}
 	if err != nil {
 		res.Status = StatusNotExtracted
 		res.Err = err
-		return res
+		tr.Err = err.Error()
+		return pipeline.ErrStop
 	}
+	return nil
+}
 
-	mp, err := s.mapper.Map(ext)
+// propmapStage runs §2.2: entity and property mapping.
+type propmapStage struct{ s *System }
+
+func (st propmapStage) Name() string { return StagePropmap }
+func (st propmapStage) Run(ctx context.Context, res *Result, tr *StageTrace) error {
+	mp, err := st.s.mapper.Map(res.Extraction)
 	if err != nil {
 		res.Status = StatusNotMapped
 		res.Err = err
-		return res
+		tr.Err = err.Error()
+		return pipeline.ErrStop
 	}
 	res.Mapping = mp
+	for _, mt := range mp.Triples {
+		tr.Candidates += len(mt.Predicates)
+	}
+	return nil
+}
 
-	ans, err := s.extractor.Extract(mp)
+// answerStage runs §2.3: candidate query generation, ranked fan-out
+// execution and type filtering. The request context reaches every
+// candidate query through the fan-out pool.
+type answerStage struct{ s *System }
+
+func (st answerStage) Name() string { return StageAnswer }
+func (st answerStage) Run(ctx context.Context, res *Result, tr *StageTrace) error {
+	ans, err := st.s.extractor.ExtractCtx(ctx, res.Mapping)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err() // cancellation: surfaced by pipeline.Run
+		}
 		if _, ok := err.(*answer.ErrBoolean); ok {
 			res.Status = StatusUnsupported
 		} else {
 			res.Status = StatusNotMapped
 		}
 		res.Err = err
-		return res
+		tr.Err = err.Error()
+		return pipeline.ErrStop
 	}
 	res.Answer = ans
+	tr.Candidates = len(ans.Candidates)
 	if ans.Answered() {
 		res.Status = StatusAnswered
 		res.Answers = ans.Answers
 	} else {
 		res.Status = StatusNoAnswer
+	}
+	return nil
+}
+
+// StageTrace aliases the pipeline trace entry so stage implementations
+// read naturally here.
+type StageTrace = pipeline.StageTrace
+
+// Answer runs the pipeline on one question. It is the context-free
+// compatibility wrapper around AnswerCtx and produces results identical
+// to the pre-staged pipeline.
+func (s *System) Answer(question string) *Result {
+	return s.AnswerCtx(context.Background(), question)
+}
+
+// AnswerCtx runs the staged pipeline on one question under a request
+// context. Cancellation and deadlines are honoured at every stage
+// boundary and, inside the answer stage, between candidate queries and
+// between join steps of each query; a cancelled request returns
+// StatusCanceled with Err set to ctx.Err(). The Result's Trace records
+// each stage that ran.
+func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
+	res := &Result{Question: strings.TrimSpace(question)}
+	if s.cache != nil {
+		res.snapGen = s.KB.Store.Snapshot().Gen()
+	}
+	tr, err := pipeline.Run(ctx, s.stages, res)
+	res.Trace = tr
+	if err != nil {
+		res.Status = StatusCanceled
+		res.Err = err
+		return res
+	}
+	if s.cache != nil && !tr.CacheHit() {
+		// Cache the terminal result (any status: failure outcomes are
+		// deterministic too) without the request-scoped trace, stamped
+		// with the generation the request started from.
+		cached := *res
+		cached.Trace = nil
+		s.cache.Put(qacache.Normalize(res.Question), res.snapGen, &cached)
 	}
 	return res
 }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/patterns"
+	"repro/internal/rdf"
+)
+
+// Tests for the staged pipeline: trace recording, request-scoped
+// cancellation, the applyDefaults zero-value semantics and the
+// generation-keyed answer cache.
+
+// TestApplyDefaultsZeroValueNotClobbered is the regression test for the
+// config clobber: an explicit config whose SentencesPerFact or
+// MinSupport is zero must survive New, while fully-zero sections still
+// pick up the package defaults.
+func TestApplyDefaultsZeroValueNotClobbered(t *testing.T) {
+	// Explicit zero MinSupport with another field set: kept verbatim.
+	got := applyDefaults(Config{
+		Miner:  patterns.MinerConfig{MinSupport: 0, SubsumeThreshold: 0.5},
+		Corpus: kb.CorpusConfig{Seed: 3, NoiseRate: 0.5, SentencesPerFact: 0},
+	})
+	if got.Miner.MinSupport != 0 || got.Miner.SubsumeThreshold != 0.5 {
+		t.Errorf("explicit Miner clobbered: %+v", got.Miner)
+	}
+	if got.Corpus.SentencesPerFact != 0 || got.Corpus.NoiseRate != 0.5 {
+		t.Errorf("explicit Corpus clobbered: %+v", got.Corpus)
+	}
+
+	// Fully-zero sections select the defaults.
+	def := applyDefaults(Config{})
+	if def.Miner != patterns.DefaultMinerConfig() {
+		t.Errorf("zero Miner did not default: %+v", def.Miner)
+	}
+	if def.Corpus != kb.DefaultCorpusConfig() {
+		t.Errorf("zero Corpus did not default: %+v", def.Corpus)
+	}
+
+	// A System built with an explicit zero-MinSupport miner keeps every
+	// pattern (no pruning) instead of silently mining with MinSupport 2.
+	s := New(Config{Miner: patterns.MinerConfig{MinSupport: 0, SubsumeThreshold: 0.9}})
+	loose := len(s.Patterns.Patterns())
+	strict := len(New(Config{Miner: patterns.MinerConfig{MinSupport: 5, SubsumeThreshold: 0.9}}).Patterns.Patterns())
+	if loose <= strict {
+		t.Errorf("MinSupport 0 mined %d patterns, MinSupport 5 mined %d — zero was clobbered", loose, strict)
+	}
+}
+
+func TestAnswerTraceRecordsStages(t *testing.T) {
+	s := Default()
+	res := s.Answer("Which book is written by Orhan Pamuk?")
+	if res.Trace == nil {
+		t.Fatal("no trace")
+	}
+	var names []string
+	for _, st := range res.Trace.Stages {
+		names = append(names, st.Stage)
+	}
+	want := []string{StageTriplex, StagePropmap, StageAnswer}
+	if len(names) != len(want) {
+		t.Fatalf("stages = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", names, want)
+		}
+	}
+	if res.Trace.Stage(StageTriplex).Candidates != 2 {
+		t.Errorf("triplex candidates = %d, want 2", res.Trace.Stage(StageTriplex).Candidates)
+	}
+	if res.Trace.Stage(StagePropmap).Candidates == 0 {
+		t.Error("propmap recorded no property candidates")
+	}
+	if res.Trace.Stage(StageAnswer).Candidates < 2 {
+		t.Errorf("answer candidates = %d, want >= 2", res.Trace.Stage(StageAnswer).Candidates)
+	}
+	if res.Trace.Total() <= 0 {
+		t.Error("trace total duration is zero")
+	}
+	if res.CacheHit() {
+		t.Error("cache hit without a cache")
+	}
+
+	// A stage failure is recorded on its trace entry.
+	res2 := s.Answer("Give me all films starring Brad Pitt.")
+	if res2.Status != StatusNotExtracted {
+		t.Fatalf("status = %v", res2.Status)
+	}
+	last := res2.Trace.Stages[len(res2.Trace.Stages)-1]
+	if last.Stage != StageTriplex || last.Err == "" {
+		t.Errorf("failing stage trace = %+v", last)
+	}
+}
+
+func TestAnswerCtxCancelledBeforeStart(t *testing.T) {
+	s := Default()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := s.AnswerCtx(ctx, "Which book is written by Orhan Pamuk?")
+	if res.Status != StatusCanceled {
+		t.Fatalf("status = %v, want canceled", res.Status)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if res.Answered() {
+		t.Error("cancelled request answered")
+	}
+	// The system stays fully usable afterwards.
+	res2 := s.Answer("Which book is written by Orhan Pamuk?")
+	if !res2.Answered() {
+		t.Fatalf("post-cancellation answer: %v / %v", res2.Status, res2.Err)
+	}
+}
+
+func TestAnswerCtxBackgroundIdenticalToAnswer(t *testing.T) {
+	s := Default()
+	for _, q := range []string{
+		"Which book is written by Orhan Pamuk?",
+		"How tall is Michael Jordan?",
+		"Is Frank Herbert still alive?",
+		"gibberish blob",
+	} {
+		a := s.Answer(q)
+		b := s.AnswerCtx(context.Background(), q)
+		if a.Status != b.Status || len(a.Answers) != len(b.Answers) ||
+			a.WinningSPARQL() != b.WinningSPARQL() {
+			t.Errorf("%q: Answer and AnswerCtx diverge: %v vs %v", q, a.Status, b.Status)
+		}
+		for i := range a.Answers {
+			if a.Answers[i] != b.Answers[i] {
+				t.Errorf("%q: answer %d differs", q, i)
+			}
+		}
+	}
+}
+
+// cachedSystem builds a private System (own KB instance, safe to
+// mutate) with the answer cache enabled.
+func cachedSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.KB = kb.Build(kb.DefaultConfig())
+	cfg.CacheSize = 64
+	return New(cfg)
+}
+
+func TestAnswerCacheHit(t *testing.T) {
+	s := cachedSystem(t)
+	const q = "Where did Abraham Lincoln die?"
+	first := s.Answer(q)
+	if !first.Answered() || first.CacheHit() {
+		t.Fatalf("first: status=%v hit=%v", first.Status, first.CacheHit())
+	}
+	second := s.Answer(q)
+	if !second.CacheHit() {
+		t.Fatal("second identical question missed the cache")
+	}
+	if !second.Answered() || len(second.Answers) != 1 || second.Answers[0] != first.Answers[0] {
+		t.Fatalf("cached answers = %v, want %v", second.Answers, first.Answers)
+	}
+	// The hit's trace is just the cache stage.
+	if len(second.Trace.Stages) != 1 || second.Trace.Stages[0].Stage != StageCache {
+		t.Errorf("hit trace = %+v", second.Trace.Stages)
+	}
+	// Normalized variants share the entry; the requester's own text is
+	// preserved on the result.
+	third := s.Answer("  Where did  Abraham Lincoln die ?")
+	if !third.CacheHit() {
+		t.Error("normalized variant missed the cache")
+	}
+	if third.Question != "Where did  Abraham Lincoln die ?" {
+		t.Errorf("question rewritten to %q", third.Question)
+	}
+	hits, misses := s.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 2/1", hits, misses)
+	}
+	// Failure outcomes are cached too — they are deterministic.
+	if s.Answer("gibberish blob"); !s.Answer("gibberish blob").CacheHit() {
+		t.Error("failure outcome not cached")
+	}
+}
+
+// TestAnswerCacheObservesRemoveGenerationBump: a single-triple
+// store.Remove bumps the snapshot generation, which must invalidate
+// every previously cached answer.
+func TestAnswerCacheObservesRemoveGenerationBump(t *testing.T) {
+	s := cachedSystem(t)
+	const q = "Where did Abraham Lincoln die?"
+	first := s.Answer(q)
+	if !first.Answered() {
+		t.Fatalf("first: %v / %v", first.Status, first.Err)
+	}
+	if !s.Answer(q).CacheHit() {
+		t.Fatal("warm-up hit failed")
+	}
+
+	genBefore := s.KB.Store.Snapshot().Gen()
+	victim := rdf.Triple{S: rdf.Res("Abraham_Lincoln"), P: rdf.Ont("deathPlace"), O: first.Answers[0]}
+	if !s.KB.Store.Remove(victim) {
+		t.Fatalf("Remove(%v) found nothing", victim)
+	}
+	if gen := s.KB.Store.Snapshot().Gen(); gen <= genBefore {
+		t.Fatalf("generation did not bump: %d -> %d", genBefore, gen)
+	}
+
+	after := s.Answer(q)
+	if after.CacheHit() {
+		t.Fatal("stale cached answer served after KB mutation")
+	}
+	if after.Answered() && after.Answers[0] == first.Answers[0] {
+		t.Fatalf("recomputed answer still %v after removing %v", after.Answers, victim)
+	}
+
+	// The recomputed outcome is itself cached under the new generation.
+	if !s.Answer(q).CacheHit() {
+		t.Error("recomputed outcome not re-cached")
+	}
+}
+
+func TestCanceledStatusString(t *testing.T) {
+	if StatusCanceled.String() != "canceled" {
+		t.Errorf("StatusCanceled = %q", StatusCanceled.String())
+	}
+}

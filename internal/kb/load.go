@@ -3,6 +3,7 @@ package kb
 import (
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 
@@ -94,4 +95,15 @@ func Load(r io.Reader, name string) (*KB, error) {
 		return nil, err
 	}
 	return FromTriples(triples)
+}
+
+// LoadFile opens and reads a KB file (.nt/.ttl by extension) — the
+// shared -kb flag implementation of the CLIs.
+func LoadFile(path string) (*KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, path)
 }

@@ -1,0 +1,119 @@
+// Package pipeline provides the request-scoped staged-execution
+// framework the question answering pipeline runs on.
+//
+// A pipeline is an ordered list of stages sharing one mutable state
+// value (internal/core threads its per-question *Result through). Run
+// drives them under a context.Context, enforcing cancellation at every
+// stage boundary and recording a Trace — per-stage wall time, candidate
+// counts and cache hit/miss — that callers (the CLIs, the qaserve
+// metrics endpoint) can inspect without re-instrumenting the stages.
+//
+// The contract for a Stage's Run method:
+//
+//   - return nil to hand the state to the next stage;
+//   - return ErrStop when the pipeline is complete early (a terminal
+//     failure status, a cache hit) — Run stops without error;
+//   - return a context error (ctx.Err(), possibly wrapped) when
+//     cancellation interrupted the stage — Run surfaces it.
+//
+// Stages record stage-specific observations (candidate counts, cache
+// hits) on the *StageTrace they are handed; timing and error capture
+// are the framework's job.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrStop is the sentinel a Stage returns to finish the pipeline early
+// without error: the state already carries its terminal outcome.
+var ErrStop = errors.New("pipeline: stop")
+
+// Stage is one request-scoped pipeline step over state S. Name must be
+// stable (it keys metrics); Run must honour ctx.
+type Stage[S any] interface {
+	Name() string
+	Run(ctx context.Context, state S, tr *StageTrace) error
+}
+
+// StageTrace records one stage execution.
+type StageTrace struct {
+	// Stage is the Stage.Name that ran.
+	Stage string
+	// Duration is the stage's wall time.
+	Duration time.Duration
+	// Candidates counts the stage's output items (extracted triple
+	// patterns, property candidates, candidate queries) — 0 when the
+	// stage has no candidate notion.
+	Candidates int
+	// CacheHit marks a cache stage that served the request.
+	CacheHit bool
+	// Err is the stage's terminal error text ("" for success). Set for
+	// both early-stop failure outcomes and cancellation.
+	Err string
+}
+
+// Trace is the per-request record of every stage that ran, in order.
+type Trace struct {
+	Stages []StageTrace
+}
+
+// CacheHit reports whether any stage served the request from cache.
+func (t *Trace) CacheHit() bool {
+	for i := range t.Stages {
+		if t.Stages[i].CacheHit {
+			return true
+		}
+	}
+	return false
+}
+
+// Stage returns the trace entry for the named stage (nil if it never
+// ran).
+func (t *Trace) Stage(name string) *StageTrace {
+	for i := range t.Stages {
+		if t.Stages[i].Stage == name {
+			return &t.Stages[i]
+		}
+	}
+	return nil
+}
+
+// Total returns the summed wall time across stages.
+func (t *Trace) Total() time.Duration {
+	var d time.Duration
+	for i := range t.Stages {
+		d += t.Stages[i].Duration
+	}
+	return d
+}
+
+// Run drives the stages over state, checking ctx at every stage
+// boundary. It always returns the Trace of the stages that ran; the
+// error is non-nil only for cancellation (ctx's error, observed at a
+// boundary or surfaced by a stage). A stage returning ErrStop ends the
+// pipeline successfully; any other stage error is treated as
+// cancellation-equivalent and returned.
+func Run[S any](ctx context.Context, stages []Stage[S], state S) (*Trace, error) {
+	tr := &Trace{Stages: make([]StageTrace, 0, len(stages))}
+	for _, st := range stages {
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		tr.Stages = append(tr.Stages, StageTrace{Stage: st.Name()})
+		stt := &tr.Stages[len(tr.Stages)-1]
+		start := time.Now()
+		err := st.Run(ctx, state, stt)
+		stt.Duration = time.Since(start)
+		if err != nil {
+			if errors.Is(err, ErrStop) {
+				return tr, nil
+			}
+			stt.Err = err.Error()
+			return tr, err
+		}
+	}
+	return tr, nil
+}

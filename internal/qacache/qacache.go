@@ -1,0 +1,165 @@
+// Package qacache provides the bounded, sharded LRU answer cache the
+// staged pipeline mounts as its first stage.
+//
+// Entries are keyed on normalized question text and stamped with the KB
+// snapshot generation they were computed against: a lookup whose
+// generation no longer matches evicts the entry and misses, so any
+// store write (Add/AddAll/Remove/RemoveAll batch that actually changed
+// something) invalidates every previously cached answer without the
+// cache ever watching the store. Sharding keeps the per-request
+// critical section to one shard mutex; capacity is enforced per shard
+// (total capacity is split evenly), giving an approximate global LRU
+// with no cross-shard coordination.
+package qacache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nShards is the shard count; a power of two so hashing can mask.
+const nShards = 16
+
+// Cache is a sharded LRU keyed by string with generation-stamped
+// entries. Safe for concurrent use.
+type Cache[V any] struct {
+	shards [nShards]shard[V]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type shard[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type entry[V any] struct {
+	key string
+	gen uint64
+	val V
+}
+
+// New builds a cache holding at most capacity entries overall
+// (capacity is split across shards; every shard holds at least one
+// entry). Capacity <= 0 yields a cache of nShards entries minimum —
+// callers gate "disabled" above this package.
+func New[V any](capacity int) *Cache[V] {
+	c := &Cache[V]{}
+	per := capacity / nShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = shard[V]{cap: per, ll: list.New(), m: make(map[string]*list.Element)}
+	}
+	return c
+}
+
+// fnv32 hashes the key to pick a shard.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[fnv32(key)&(nShards-1)]
+}
+
+// Get returns the cached value for key computed at generation gen. An
+// entry stored under a different generation is stale: it is evicted and
+// the lookup misses.
+func (c *Cache[V]) Get(key string, gen uint64) (V, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.m[key]
+	if !ok {
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	e := el.Value.(*entry[V])
+	if e.gen != gen {
+		// Evict only entries *older* than the requester's snapshot: a
+		// newer entry means this requester pinned a pre-write snapshot
+		// while another request already refreshed the key — deleting it
+		// (or letting the stale requester's Put overwrite it) would
+		// thrash the fresh answer.
+		if e.gen < gen {
+			sh.ll.Remove(el)
+			delete(sh.m, key)
+		}
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	sh.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// Put stores the value for key at generation gen, evicting the shard's
+// least recently used entry when over capacity.
+func (c *Cache[V]) Put(key string, gen uint64, v V) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[key]; ok {
+		e := el.Value.(*entry[V])
+		if gen < e.gen {
+			return // never clobber a fresher entry with a stale result
+		}
+		e.gen, e.val = gen, v
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.m[key] = sh.ll.PushFront(&entry[V]{key: key, gen: gen, val: v})
+	for sh.ll.Len() > sh.cap {
+		oldest := sh.ll.Back()
+		sh.ll.Remove(oldest)
+		delete(sh.m, oldest.Value.(*entry[V]).key)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Normalize canonicalises question text for cache keying. It is
+// deliberately conservative — only transformations that cannot change
+// the pipeline's output are applied: surrounding whitespace is trimmed,
+// internal whitespace runs collapse to single spaces, and one trailing
+// '?', '.' or '!' is dropped (the tokenizer discards it anyway). Case
+// is preserved: entity linking is case-sensitive, so folding could
+// alias questions with different answers.
+func Normalize(q string) string {
+	q = strings.Join(strings.Fields(q), " ")
+	if len(q) > 0 {
+		switch q[len(q)-1] {
+		case '?', '.', '!':
+			q = strings.TrimRight(q[:len(q)-1], " ")
+		}
+	}
+	return q
+}

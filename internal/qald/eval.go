@@ -1,6 +1,7 @@
 package qald
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,10 +46,16 @@ type Report struct {
 // Gold computes the gold answer set of a question against the KB. ASK
 // gold queries yield a single xsd:boolean literal.
 func Gold(k *kb.KB, q Question) ([]rdf.Term, error) {
+	return GoldCtx(context.Background(), k, q)
+}
+
+// GoldCtx is Gold under a request context: the gold SPARQL query aborts
+// between join steps when the context is cancelled.
+func GoldCtx(ctx context.Context, k *kb.KB, q Question) ([]rdf.Term, error) {
 	if strings.TrimSpace(q.GoldQuery) == "" {
 		return nil, nil
 	}
-	res, err := sparql.ExecuteString(k.Store, q.GoldQuery)
+	res, err := sparql.ExecuteStringCtx(ctx, k.Store, q.GoldQuery)
 	if err != nil {
 		return nil, fmt.Errorf("qald: gold query for Q%d: %w", q.ID, err)
 	}
@@ -69,13 +76,26 @@ func Evaluate(s *core.System, questions []Question) (*Report, error) {
 	return EvaluateWorkers(s, questions, 1)
 }
 
-// EvaluateWorkers evaluates with question-level parallelism: up to
+// EvaluateWorkers evaluates with question-level parallelism; see
+// EvaluateWorkersCtx.
+func EvaluateWorkers(s *core.System, questions []Question, workers int) (*Report, error) {
+	return EvaluateWorkersCtx(context.Background(), s, questions, workers)
+}
+
+// EvaluateCtx is Evaluate under a request context.
+func EvaluateCtx(ctx context.Context, s *core.System, questions []Question) (*Report, error) {
+	return EvaluateWorkersCtx(ctx, s, questions, 1)
+}
+
+// EvaluateWorkersCtx evaluates with question-level parallelism: up to
 // `workers` goroutines answer questions concurrently (the pipeline is
 // read-only after construction and the store supports parallel
 // readers), while the report is aggregated in question order, so it is
 // identical at every worker count. This layer composes with the
-// candidate-query fan-out inside internal/answer.
-func EvaluateWorkers(s *core.System, questions []Question, workers int) (*Report, error) {
+// candidate-query fan-out inside internal/answer. The context reaches
+// every gold query and every pipeline stage; when it is cancelled the
+// evaluation stops promptly and returns ctx's error.
+func EvaluateWorkersCtx(ctx context.Context, s *core.System, questions []Question, workers int) (*Report, error) {
 	rep := &Report{Total: len(questions)}
 	if workers < 1 {
 		workers = 1
@@ -89,13 +109,18 @@ func EvaluateWorkers(s *core.System, questions []Question, workers int) (*Report
 	var failed atomic.Bool // fail fast: a gold error stops further work
 	evalOne := func(i int) {
 		q := questions[i]
-		gold, err := Gold(s.KB, q)
+		gold, err := GoldCtx(ctx, s.KB, q)
 		if err != nil {
 			errs[i] = err
 			failed.Store(true)
 			return
 		}
-		res := s.Answer(q.Text)
+		res := s.AnswerCtx(ctx, q.Text)
+		if res.Status == core.StatusCanceled {
+			errs[i] = res.Err
+			failed.Store(true)
+			return
+		}
 		qr := QuestionResult{
 			Question:      q,
 			Status:        res.Status,
@@ -126,7 +151,7 @@ func EvaluateWorkers(s *core.System, questions []Question, workers int) (*Report
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(questions) || failed.Load() {
+					if i >= len(questions) || failed.Load() || ctx.Err() != nil {
 						return
 					}
 					evalOne(i)
@@ -140,6 +165,11 @@ func EvaluateWorkers(s *core.System, questions []Question, workers int) (*Report
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := range questions {
 		qr := results[i]
 		if qr.Answered {
 			rep.Answered++

@@ -1,0 +1,136 @@
+package qaserve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Prometheus-style metrics for the serving layer, hand-rolled on the
+// standard library (the repo takes no dependencies). Stage latency is
+// recorded per pipeline stage from each request's Trace.
+
+// histBounds are the histogram bucket upper bounds in seconds,
+// exponential from 100µs to 10s — the uncached pipeline sits around a
+// few hundred µs to a few ms on the reference KB, cache hits far below
+// the first bucket.
+var histBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bounds latency histogram safe for concurrent
+// observation.
+type histogram struct {
+	counts []atomic.Uint64 // len(histBounds)+1, last = +Inf
+	sumNS  atomic.Uint64
+	count  atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(histBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(histBounds, s)
+	h.counts[i].Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+	h.count.Add(1)
+}
+
+// metrics aggregates the serving counters.
+type metrics struct {
+	inflight atomic.Int64
+
+	requestsOK       atomic.Uint64
+	requestsBad      atomic.Uint64
+	requestsRejected atomic.Uint64
+	requestsTimeout  atomic.Uint64
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	mu     sync.Mutex
+	stages map[string]*histogram // stage name -> latency histogram
+	total  *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{stages: map[string]*histogram{}, total: newHistogram()}
+}
+
+func (m *metrics) stage(name string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.stages[name]
+	if !ok {
+		h = newHistogram()
+		m.stages[name] = h
+	}
+	return h
+}
+
+// render writes the metrics in the Prometheus text exposition format.
+func (m *metrics) render(sb *strings.Builder) {
+	fmt.Fprintf(sb, "# HELP qaserve_inflight_requests Requests currently being answered.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_inflight_requests gauge\n")
+	fmt.Fprintf(sb, "qaserve_inflight_requests %d\n", m.inflight.Load())
+
+	fmt.Fprintf(sb, "# HELP qaserve_requests_total Requests by outcome.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_requests_total counter\n")
+	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"ok\"} %d\n", m.requestsOK.Load())
+	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"bad_request\"} %d\n", m.requestsBad.Load())
+	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"rejected\"} %d\n", m.requestsRejected.Load())
+	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"timeout\"} %d\n", m.requestsTimeout.Load())
+
+	fmt.Fprintf(sb, "# HELP qaserve_cache_requests_total Answer cache lookups by outcome.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_cache_requests_total counter\n")
+	fmt.Fprintf(sb, "qaserve_cache_requests_total{outcome=\"hit\"} %d\n", m.cacheHits.Load())
+	fmt.Fprintf(sb, "qaserve_cache_requests_total{outcome=\"miss\"} %d\n", m.cacheMisses.Load())
+
+	fmt.Fprintf(sb, "# HELP qaserve_stage_duration_seconds Per-stage pipeline latency from request traces.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_stage_duration_seconds histogram\n")
+	m.mu.Lock()
+	names := make([]string, 0, len(m.stages))
+	for name := range m.stages {
+		names = append(names, name)
+	}
+	hists := make([]*histogram, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		hists = append(hists, m.stages[name])
+	}
+	m.mu.Unlock()
+	for i, name := range names {
+		renderHistogram(sb, "qaserve_stage_duration_seconds", fmt.Sprintf("stage=%q", name), hists[i])
+	}
+
+	fmt.Fprintf(sb, "# HELP qaserve_request_duration_seconds End-to-end answer latency.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_request_duration_seconds histogram\n")
+	renderHistogram(sb, "qaserve_request_duration_seconds", "", m.total)
+}
+
+func renderHistogram(sb *strings.Builder, name, label string, h *histogram) {
+	sep := ""
+	if label != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, bound := range histBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket{%s%sle=\"%g\"} %d\n", name, label, sep, bound, cum)
+	}
+	cum += h.counts[len(histBounds)].Load()
+	fmt.Fprintf(sb, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, label, sep, cum)
+	if label != "" {
+		fmt.Fprintf(sb, "%s_sum{%s} %g\n", name, label, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(sb, "%s_count{%s} %d\n", name, label, h.count.Load())
+	} else {
+		fmt.Fprintf(sb, "%s_sum %g\n", name, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(sb, "%s_count %d\n", name, h.count.Load())
+	}
+}

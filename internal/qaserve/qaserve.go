@@ -1,0 +1,294 @@
+// Package qaserve is the HTTP/JSON serving layer over the staged
+// question answering pipeline — the subsystem that turns core.System
+// into a service. It exposes:
+//
+//	POST /v1/answer        {"question": "..."}        → one AnswerResponse
+//	POST /v1/answer/batch  {"questions": ["...", …]}  → {"results": [AnswerResponse, …]}
+//	GET  /healthz          liveness + KB snapshot info
+//	GET  /metrics          Prometheus text format: request counters,
+//	                       cache hit/miss, per-stage latency histograms
+//	                       built from each request's pipeline Trace
+//
+// Every request runs under a context derived from the HTTP request's:
+// the configured per-request timeout is attached, so a deadline
+// expiring mid-pipeline cancels candidate queries between join steps
+// and the request answers 504 with status "canceled". A configurable
+// in-flight limit sheds load with 503 before the pipeline is entered.
+// Graceful shutdown is the caller's (cmd/qaserve's) job via
+// http.Server.Shutdown, which drains in-flight requests; the handlers
+// need no extra support for it.
+package qaserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Sys is the pipeline to serve (required).
+	Sys *core.System
+	// RequestTimeout bounds each request's pipeline run (0 = no
+	// timeout). Batch requests get one timeout per contained question.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// are rejected with 503 (0 = unlimited).
+	MaxInFlight int
+	// MaxBatch bounds the questions accepted by /v1/answer/batch
+	// (default 64).
+	MaxBatch int
+}
+
+// Server is the HTTP serving layer. Build with New, mount Handler.
+type Server struct {
+	sys      *core.System
+	timeout  time.Duration
+	maxBatch int
+	sem      chan struct{} // nil = unlimited
+	m        *metrics
+}
+
+// New builds a Server over the assembled pipeline.
+func New(cfg Config) *Server {
+	s := &Server{sys: cfg.Sys, timeout: cfg.RequestTimeout, maxBatch: cfg.MaxBatch, m: newMetrics()}
+	if s.maxBatch <= 0 {
+		s.maxBatch = 64
+	}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
+	}
+	return s
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
+	mux.HandleFunc("POST /v1/answer/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// AnswerRequest is the /v1/answer body.
+type AnswerRequest struct {
+	Question string `json:"question"`
+}
+
+// BatchRequest is the /v1/answer/batch body.
+type BatchRequest struct {
+	Questions []string `json:"questions"`
+}
+
+// StageTrace is the JSON projection of one pipeline stage record.
+type StageTrace struct {
+	Stage      string  `json:"stage"`
+	DurationMS float64 `json:"duration_ms"`
+	Candidates int     `json:"candidates,omitempty"`
+	CacheHit   bool    `json:"cache_hit,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// AnswerResponse is the JSON projection of one pipeline Result.
+type AnswerResponse struct {
+	Question      string       `json:"question"`
+	Status        string       `json:"status"`
+	Answered      bool         `json:"answered"`
+	Answers       []string     `json:"answers,omitempty"`
+	WinningSPARQL string       `json:"winning_sparql,omitempty"`
+	Error         string       `json:"error,omitempty"`
+	CacheHit      bool         `json:"cache_hit"`
+	Trace         []StageTrace `json:"trace,omitempty"`
+}
+
+// BatchResponse is the /v1/answer/batch reply.
+type BatchResponse struct {
+	Results []AnswerResponse `json:"results"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// acquire reserves an in-flight slot, answering 503 when the limit is
+// reached. The returned release func is nil when the request was
+// rejected.
+func (s *Server) acquire(w http.ResponseWriter) func() {
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.m.requestsRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server at capacity"})
+			return nil
+		}
+	}
+	s.m.inflight.Add(1)
+	return func() {
+		s.m.inflight.Add(-1)
+		if s.sem != nil {
+			<-s.sem
+		}
+	}
+}
+
+// answer runs one question through the pipeline under the request's
+// context plus the configured timeout and records its trace metrics.
+func (s *Server) answer(r *http.Request, question string) *core.Result {
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res := s.sys.AnswerCtx(ctx, question)
+	s.observe(res)
+	return res
+}
+
+func (s *Server) observe(res *core.Result) {
+	if res.Trace == nil {
+		return
+	}
+	for _, st := range res.Trace.Stages {
+		s.m.stage(st.Stage).observe(st.Duration)
+	}
+	s.m.total.observe(res.Trace.Total())
+	// Cache counters only when a cache stage actually ran (a System
+	// built with CacheSize 0 has none — counting misses there would
+	// fabricate a 0% hit rate for a cache that does not exist). A
+	// lookup that ran counts even if the request later timed out, so
+	// the exported ratio matches System.CacheStats.
+	if st := res.Trace.Stage(core.StageCache); st != nil {
+		if st.CacheHit {
+			s.m.cacheHits.Add(1)
+		} else {
+			s.m.cacheMisses.Add(1)
+		}
+	}
+}
+
+// toResponse projects a Result for the wire.
+func (s *Server) toResponse(res *core.Result) AnswerResponse {
+	resp := AnswerResponse{
+		Question:      res.Question,
+		Status:        res.Status.String(),
+		Answered:      res.Answered(),
+		Answers:       res.AnswerStrings(s.sys.KB),
+		WinningSPARQL: res.WinningSPARQL(),
+		CacheHit:      res.CacheHit(),
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	if res.Trace != nil {
+		for _, st := range res.Trace.Stages {
+			resp.Trace = append(resp.Trace, StageTrace{
+				Stage:      st.Stage,
+				DurationMS: float64(st.Duration.Microseconds()) / 1e3,
+				Candidates: st.Candidates,
+				CacheHit:   st.CacheHit,
+				Error:      st.Err,
+			})
+		}
+	}
+	return resp
+}
+
+// maxBodyBytes bounds request bodies: questions are short, so 1 MiB is
+// generous, and the limit keeps oversized bodies from being buffered
+// before the in-flight limiter is ever consulted.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req AnswerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Question) == "" {
+		s.m.requestsBad.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"question\": \"...\"}"})
+		return
+	}
+	release := s.acquire(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	res := s.answer(r, req.Question)
+	if res.Status == core.StatusCanceled {
+		if r.Context().Err() != nil {
+			return // client went away; nothing useful to write
+		}
+		s.m.requestsTimeout.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, s.toResponse(res))
+		return
+	}
+	s.m.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, s.toResponse(res))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Questions) == 0 {
+		s.m.requestsBad.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"questions\": [\"...\", ...]}"})
+		return
+	}
+	if len(req.Questions) > s.maxBatch {
+		s.m.requestsBad.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Questions), s.maxBatch)})
+		return
+	}
+	release := s.acquire(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	resp := BatchResponse{Results: make([]AnswerResponse, 0, len(req.Questions))}
+	for _, q := range req.Questions {
+		res := s.answer(r, q)
+		if res.Status == core.StatusCanceled && r.Context().Err() != nil {
+			return // client went away mid-batch
+		}
+		resp.Results = append(resp.Results, s.toResponse(res))
+	}
+	// qaserve_requests_total counts HTTP requests, so a batch counts
+	// once regardless of size (timed-out members are visible in their
+	// per-result status and the stage histograms).
+	s.m.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.sys.KB.Store.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"triples":    sn.Len(),
+		"generation": sn.Gen(),
+		"inflight":   s.m.inflight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	s.m.render(&sb)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(sb.String()))
+}

@@ -63,11 +63,17 @@ func ExecuteCtx(ctx context.Context, st *store.Store, q *Query) (*Result, error)
 
 // ExecuteString parses and runs src against the store.
 func ExecuteString(st *store.Store, src string) (*Result, error) {
+	return ExecuteStringCtx(context.Background(), st, src)
+}
+
+// ExecuteStringCtx parses and runs src against the store under a
+// request context; see ExecuteCtx for the cancellation contract.
+func ExecuteStringCtx(ctx context.Context, st *store.Store, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(st, q)
+	return ExecuteCtx(ctx, st, q)
 }
 
 // cpat is a triple pattern compiled to ID space: per position either a

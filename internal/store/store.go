@@ -813,6 +813,24 @@ func (s *Store) AddAll(ts []rdf.Triple) int {
 	return n
 }
 
+// Remove deletes one ground triple, reporting whether it was present.
+// Like every write it publishes a fresh snapshot (with a bumped
+// generation) only when it actually changed something, so generation
+// watchers — the answer cache keys its entries on Snapshot.Gen — see a
+// bump exactly when the KB contents changed. Dictionary entries are
+// retained (IDs are never reused).
+func (s *Store) Remove(t rdf.Triple) bool {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	w := s.begin()
+	removed := false
+	if ids, ok := w.next.patternIDs(t); ok && ids[0] != 0 && ids[1] != 0 && ids[2] != 0 {
+		removed = w.removeIDs(ids[0], ids[1], ids[2])
+	}
+	s.commit(w)
+	return removed
+}
+
 // RemoveAll deletes every listed triple as one atomic batch and returns
 // the number actually removed. Dictionary entries are retained (IDs are
 // never reused), so add/remove churn of the same triples reaches a

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Runs the tentpole benchmarks — the ID-space engine vs. the retained
 # term-space reference path (PR 1), the concurrent candidate fan-out
-# vs. sequential rank-order execution (PR 2), and the wait-free
+# vs. sequential rank-order execution (PR 2), the wait-free
 # snapshot-read pair (PR 3: BenchmarkBGPJoinIdle vs
-# BenchmarkBGPJoinUnderLoad, the same join with a bulk AddAll/RemoveAll
-# churn loop running) — and emits BENCH_PR3.json with ns/op and
-# allocs/op per benchmark, so later PRs have a perf trajectory to
-# compare against. The under-load number measures the wait-free claim:
-# reader latency must stay within 2x of the idle baseline instead of
-# stalling for whole write batches.
+# BenchmarkBGPJoinUnderLoad), and the staged pipeline + serving layer
+# (PR 4: BenchmarkAnswerCtx vs BenchmarkAnswerThroughput bounds the
+# stage-framework overhead; BenchmarkServeAnswerCached vs
+# BenchmarkServeAnswerUncached measures the answer cache through the
+# full HTTP handler — the cached path must come in >= 10x faster) —
+# and emits BENCH_PR4.json with ns/op and allocs/op per benchmark, so
+# later PRs have a perf trajectory to compare against.
 #
 # The JSON records gomaxprocs: the Extract{Sequential,Parallel*}
 # comparison only shows a wall-clock gap on multi-core hosts (the
@@ -20,11 +21,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkAnswerThroughput|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax)$|BenchmarkQALDEvalWorkers4' \
+  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkAnswerThroughput|BenchmarkAnswerCtx$|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax)$|BenchmarkQALDEvalWorkers4' \
   -benchmem -benchtime="$benchtime" .)"
 
 echo "$raw"

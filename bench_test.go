@@ -580,9 +580,11 @@ func fanoutSetup(b *testing.B) (*kb.KB, *propmap.Mapping) {
 	return fanoutKB, fanoutMP
 }
 
-func benchmarkExtract(b *testing.B, parallelism int) {
+func benchmarkExtract(b *testing.B, cfg answer.Config) {
 	k, mp := fanoutSetup(b)
-	ex := answer.New(k, answer.Config{MaxQueries: 256, Parallelism: parallelism})
+	cfg.MaxQueries = 256
+	ex := answer.New(k, cfg)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ex.Extract(mp)
@@ -590,22 +592,41 @@ func benchmarkExtract(b *testing.B, parallelism int) {
 			b.Fatal(err)
 		}
 		if res.Winning == nil || res.Winning.SPARQL != fanoutWant {
-			b.Fatalf("parallelism=%d diverged: %+v", parallelism, res.Winning)
+			b.Fatalf("cfg=%+v diverged: %+v", cfg, res.Winning)
 		}
 	}
 }
 
 // BenchmarkExtractSequential executes the candidate set in strict rank
 // order on one goroutine (Parallelism: 1), the reference semantics.
-func BenchmarkExtractSequential(b *testing.B) { benchmarkExtract(b, 1) }
+// Since PR 5 all Extract benchmarks run with the shared per-question
+// sparql.Session (the production path); BenchmarkExtractSessionless is
+// the session-disabled twin.
+func BenchmarkExtractSequential(b *testing.B) {
+	benchmarkExtract(b, answer.Config{Parallelism: 1})
+}
 
 // BenchmarkExtractParallel fans the same candidate set out across 4
-// workers with the rank-order commit protocol.
-func BenchmarkExtractParallel(b *testing.B) { benchmarkExtract(b, 4) }
+// workers with the rank-order commit protocol (the workers share the
+// question's session).
+func BenchmarkExtractParallel(b *testing.B) {
+	benchmarkExtract(b, answer.Config{Parallelism: 4})
+}
 
 // BenchmarkExtractParallelMax uses every core (Parallelism: 0 =
 // GOMAXPROCS).
-func BenchmarkExtractParallelMax(b *testing.B) { benchmarkExtract(b, 0) }
+func BenchmarkExtractParallelMax(b *testing.B) {
+	benchmarkExtract(b, answer.Config{Parallelism: 0})
+}
+
+// BenchmarkExtractSessionless runs the identical fan-out with the
+// shared session disabled — every candidate compiles and scans from
+// scratch. The Sequential/Sessionless gap is the measured value of the
+// session's cross-candidate memoization (answers are identical; the
+// differential tests in internal/answer pin that).
+func BenchmarkExtractSessionless(b *testing.B) {
+	benchmarkExtract(b, answer.Config{Parallelism: 1, DisableSessionReuse: true})
+}
 
 // BenchmarkQALDEvalWorkers4 runs the Table 2 evaluation with
 // question-level parallelism on top of the per-question fan-out (the

@@ -33,6 +33,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request pipeline timeout (0 = none)")
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently served requests; excess answers 503 (0 = unlimited)")
 	maxBatch := flag.Int("max-batch", 64, "max questions per /v1/answer/batch request")
+	batchParallel := flag.Int("batch-parallel", 0, "workers a batch request fans its questions across (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", 1024, "answer cache entries, keyed on normalized question text (0 = disabled)")
 	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers per question (0 = GOMAXPROCS, 1 = sequential)")
 	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
@@ -64,10 +65,11 @@ func main() {
 		time.Since(start).Round(time.Millisecond), sys.KB.Store.Len())
 
 	srv := qaserve.New(qaserve.Config{
-		Sys:            sys,
-		RequestTimeout: *timeout,
-		MaxInFlight:    *maxInflight,
-		MaxBatch:       *maxBatch,
+		Sys:              sys,
+		RequestTimeout:   *timeout,
+		MaxInFlight:      *maxInflight,
+		MaxBatch:         *maxBatch,
+		BatchParallelism: *batchParallel,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -36,17 +36,31 @@
 // concurrent bulk-churn writer stays within ~1.5x of the idle baseline,
 // and the per-row binding maps are gone from the answer path.
 //
+// Each question executes inside one sparql.Session pinned to one store
+// snapshot: the §2.3 Cartesian product generates dozens of candidate
+// queries that differ only in a property URI or triple orientation,
+// and the session lets those siblings share memoized constant
+// resolution, base-pattern index scans and exact cardinalities instead
+// of re-deriving them per candidate. The executor also answers
+// bound-variable existence patterns with sorted-ID galloping merges
+// against the store's posting lists (store.Snapshot.PostingList) and
+// deduplicates DISTINCT results in ID space before the final term
+// sort. Everything is byte-identical with or without the sharing —
+// differential tests pin session ≡ fresh execution — and BENCH_PR5.
+// json records the effect on the fan-out worst case.
+//
 // On top of the ID engine sit two composable parallelism layers, both
 // result-deterministic. Candidate queries execute on a bounded worker
 // pool with rank-order commit: workers speculate on lower-ranked
-// candidates, outcomes commit strictly in §2.3.1 rank order, and a
-// committed winner cancels in-flight losers through context-aware
-// execution (sparql.ExecuteCtx), so the answer is byte-identical to
-// sequential execution at any parallelism (internal/answer's package
-// doc describes the protocol). Above it, the evaluation harness batches
-// whole questions across goroutines (qald.EvaluateWorkers, cmd/
-// qald-eval -workers) — the pipeline is read-only after construction
-// and the store supports parallel readers.
+// candidates (sharing the question's session), outcomes commit
+// strictly in §2.3.1 rank order, and a committed winner cancels
+// in-flight losers through context-aware execution (sparql.
+// ExecuteCtx), so the answer is byte-identical to sequential execution
+// at any parallelism (internal/answer's package doc describes the
+// protocol). Above it, the evaluation harness batches whole questions
+// across goroutines (qald.EvaluateWorkers, cmd/qald-eval -workers) —
+// the pipeline is read-only after construction and the store supports
+// parallel readers.
 //
 // The top layer is an explicit staged pipeline with a serving surface.
 // internal/core composes the paper's three sections as request-scoped
@@ -62,10 +76,13 @@
 // with the KB snapshot generation, so any store write — including the
 // single-triple store.Remove — invalidates every cached answer.
 // cmd/qaserve serves the pipeline over HTTP/JSON (POST /v1/answer and
-// /v1/answer/batch, GET /healthz and /metrics with per-stage latency
-// histograms built from the traces) with per-request timeouts, an
-// in-flight limit and graceful shutdown; internal/qaserve holds the
-// handlers and metrics.
+// /v1/answer/batch — batch questions fan out across a bounded worker
+// pool, with every worker beyond the first charging an extra
+// in-flight slot non-blockingly so a busy server shrinks the pool
+// toward sequential — GET /healthz and /metrics with per-stage
+// latency histograms built from the traces) with per-request
+// timeouts, an in-flight limit and graceful shutdown;
+// internal/qaserve holds the handlers and metrics.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured numbers, and bench_test.go for the per-table/figure

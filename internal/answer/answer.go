@@ -62,6 +62,14 @@ type Config struct {
 	// Results are identical at every setting (deterministic first-winner
 	// commit protocol); only wall-clock latency changes.
 	Parallelism int
+
+	// DisableSessionReuse executes every candidate query with a fresh
+	// single-query executor instead of the shared per-question
+	// sparql.Session. Answers are identical either way (the session
+	// only memoizes pure functions of its pinned snapshot); this is the
+	// diagnostic switch the session differential tests and the
+	// BenchmarkExtractSessionless trajectory baseline run under.
+	DisableSessionReuse bool
 }
 
 // DefaultConfig mirrors the paper.
@@ -137,7 +145,24 @@ func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
 // before a winner commits, ExtractCtx returns ctx.Err() promptly —
 // bounded by one join step — with all fan-out goroutines drained, and
 // the Extractor stays reusable for later calls.
+//
+// Each call pins one sparql.Session over the store's current snapshot
+// and shares it across the whole §2.3 run; use ExtractSessionCtx to
+// supply a session pinned earlier in the request.
 func (e *Extractor) ExtractCtx(ctx context.Context, mp *propmap.Mapping) (*Result, error) {
+	return e.ExtractSessionCtx(ctx, mp, sparql.NewSession(e.kb.Store))
+}
+
+// ExtractSessionCtx is ExtractCtx over a caller-pinned execution
+// session: one question = one session = one snapshot pin. Everything
+// §2.3 reads — candidate orientation typing, every candidate query of
+// the SELECT fan-out, the ASK path, the COUNT aggregation retry and
+// the §2.3.2 expected-type filter — goes through the session's
+// snapshot, and sibling candidates share its memoized term resolution,
+// base scans and cardinalities. The staged pipeline (internal/core)
+// passes the session it pinned at request entry so the answer cache
+// generation stamp and the executed snapshot can never diverge.
+func (e *Extractor) ExtractSessionCtx(ctx context.Context, mp *propmap.Mapping, sess *sparql.Session) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -163,7 +188,7 @@ func (e *Extractor) ExtractCtx(ctx context.Context, mp *propmap.Mapping) (*Resul
 		subj := slotTerm(mt.SubjectVar, mt.Subject)
 		obj := slotTerm(mt.ObjectVar, mt.Object)
 		for _, cand := range mt.Predicates {
-			for _, pat := range e.orientations(cand.Property, subj, obj) {
+			for _, pat := range e.orientations(sess, cand.Property, subj, obj) {
 				alts = append(alts, alternative{
 					patterns: []rdf.Triple{pat},
 					score:    cand.RankScore(),
@@ -220,10 +245,10 @@ func (e *Extractor) ExtractCtx(ctx context.Context, mp *propmap.Mapping) (*Resul
 	})
 
 	if boolean {
-		return e.executeBoolean(ctx, res)
+		return e.executeBoolean(ctx, sess, res)
 	}
 
-	if err := e.executeSelect(ctx, res, expected); err != nil {
+	if err := e.executeSelect(ctx, sess, res, expected); err != nil {
 		return nil, err
 	}
 
@@ -231,11 +256,21 @@ func (e *Extractor) ExtractCtx(ctx context.Context, mp *propmap.Mapping) (*Resul
 	// only return entities answers with the distinct result count.
 	if res.Winning == nil && e.cfg.EnableAggregation &&
 		expected.Kind == triplex.ExpectNumeric {
-		if err := e.executeAggregation(ctx, res); err != nil {
+		if err := e.executeAggregation(ctx, sess, res); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
+}
+
+// execQuery runs one candidate query through the shared session — or,
+// under Config.DisableSessionReuse, through a fresh single-query
+// executor (the differential-test and benchmark baseline).
+func (e *Extractor) execQuery(ctx context.Context, sess *sparql.Session, q *sparql.Query) (*sparql.Result, error) {
+	if e.cfg.DisableSessionReuse {
+		return sparql.ExecuteCtx(ctx, e.kb.Store, q)
+	}
+	return sess.ExecuteCtx(ctx, q)
 }
 
 // workers resolves Config.Parallelism: 0 → GOMAXPROCS, <= 1 →
@@ -264,9 +299,9 @@ type execOutcome struct {
 // worker pool; the first query whose (type-filtered) answer set is
 // non-empty wins. It returns the context error when cancellation
 // stopped the fan-out before a winner committed.
-func (e *Extractor) executeSelect(ctx context.Context, res *Result, expected triplex.Expected) error {
+func (e *Extractor) executeSelect(ctx context.Context, sess *sparql.Session, res *Result, expected triplex.Expected) error {
 	exec := func(ctx context.Context, i int) execOutcome {
-		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, res.Candidates[i].Query)
+		r, err := e.execQuery(ctx, sess, res.Candidates[i].Query)
 		if err != nil {
 			return execOutcome{err: err}
 		}
@@ -281,7 +316,7 @@ func (e *Extractor) executeSelect(ctx context.Context, res *Result, expected tri
 				continue
 			}
 			out.raw++
-			if e.cfg.DisableTypeCheck || e.typeMatches(term, expected) {
+			if e.cfg.DisableTypeCheck || e.typeMatches(sess, term, expected) {
 				out.answers = append(out.answers, term)
 			}
 		}
@@ -313,7 +348,7 @@ func (e *Extractor) executeSelect(ctx context.Context, res *Result, expected tri
 // candidate that errors contributes nothing — in particular, a question
 // whose every candidate errors stays unanswered instead of answering
 // "false" with full confidence.
-func (e *Extractor) executeBoolean(ctx context.Context, res *Result) (*Result, error) {
+func (e *Extractor) executeBoolean(ctx context.Context, sess *sparql.Session, res *Result) (*Result, error) {
 	boolLit := func(v bool) rdf.Term {
 		if v {
 			return rdf.NewTypedLiteral("true", rdf.XSDBoolean)
@@ -322,7 +357,7 @@ func (e *Extractor) executeBoolean(ctx context.Context, res *Result) (*Result, e
 	}
 	firstOK := -1 // top-ranked candidate that executed without error
 	exec := func(ctx context.Context, i int) execOutcome {
-		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, res.Candidates[i].Query)
+		r, err := e.execQuery(ctx, sess, res.Candidates[i].Query)
 		if err != nil {
 			return execOutcome{err: err}
 		}
@@ -366,7 +401,7 @@ func (e *Extractor) executeBoolean(ctx context.Context, res *Result) (*Result, e
 // executeAggregation retries the candidates as COUNT(DISTINCT ?x)
 // queries on the worker pool, answering with the count of the first
 // (rank-order) candidate whose raw result set is non-empty.
-func (e *Extractor) executeAggregation(ctx context.Context, res *Result) error {
+func (e *Extractor) executeAggregation(ctx context.Context, sess *sparql.Session, res *Result) error {
 	type aggOutcome struct {
 		count rdf.Term
 		query *sparql.Query
@@ -383,7 +418,7 @@ func (e *Extractor) executeAggregation(ctx context.Context, res *Result) error {
 			Patterns: cq.Query.Patterns,
 			Limit:    -1,
 		}
-		r, err := sparql.ExecuteCtx(ctx, e.kb.Store, countQ)
+		r, err := e.execQuery(ctx, sess, countQ)
 		if err != nil || r.Len() == 0 || len(r.Vars) == 0 {
 			return aggOutcome{}
 		}
@@ -426,20 +461,21 @@ func slotTerm(varName string, entity rdf.Term) rdf.Term {
 // orientations yields the executable SPARQL patterns for a property
 // between the two slots. Object properties are tried in both directions
 // when the domain/range typing does not rule one out; data properties
-// only ever have the literal on the object side.
-func (e *Extractor) orientations(p kb.Property, subj, obj rdf.Term) []rdf.Triple {
+// only ever have the literal on the object side. Typing reads the
+// session's pinned snapshot, like everything else in the §2.3 run.
+func (e *Extractor) orientations(sess *sparql.Session, p kb.Property, subj, obj rdf.Term) []rdf.Triple {
 	var out []rdf.Triple
 	if !p.Object {
 		// Data property: the variable must sit in object position.
 		switch {
 		case obj.IsVar() && !subj.IsVar():
-			if e.instanceOfLoose(subj, p.Domain) {
+			if e.instanceOfLoose(sess, subj, p.Domain) {
 				out = append(out, rdf.Triple{S: subj, P: p.Term, O: obj})
 			}
 		case subj.IsVar() && !obj.IsVar():
 			// Reversed slots: literal value on the subject side cannot
 			// be expressed; try the flipped orientation.
-			if e.instanceOfLoose(obj, p.Domain) {
+			if e.instanceOfLoose(sess, obj, p.Domain) {
 				out = append(out, rdf.Triple{S: obj, P: p.Term, O: subj})
 			}
 		case subj.IsVar() && obj.IsVar():
@@ -449,8 +485,8 @@ func (e *Extractor) orientations(p kb.Property, subj, obj rdf.Term) []rdf.Triple
 	}
 	forward := rdf.Triple{S: subj, P: p.Term, O: obj}
 	reverse := rdf.Triple{S: obj, P: p.Term, O: subj}
-	fwdOK := e.orientationTypable(subj, obj, p)
-	revOK := e.orientationTypable(obj, subj, p)
+	fwdOK := e.orientationTypable(sess, subj, obj, p)
+	revOK := e.orientationTypable(sess, obj, subj, p)
 	if fwdOK {
 		out = append(out, forward)
 	}
@@ -466,11 +502,11 @@ func (e *Extractor) orientations(p kb.Property, subj, obj rdf.Term) []rdf.Triple
 // orientationTypable reports whether placing s in subject and o in
 // object position is consistent with the property's domain/range for
 // the slots that are ground.
-func (e *Extractor) orientationTypable(s, o rdf.Term, p kb.Property) bool {
-	if !s.IsVar() && !e.instanceOfLoose(s, p.Domain) {
+func (e *Extractor) orientationTypable(sess *sparql.Session, s, o rdf.Term, p kb.Property) bool {
+	if !s.IsVar() && !e.instanceOfLoose(sess, s, p.Domain) {
 		return false
 	}
-	if !o.IsVar() && !e.instanceOfLoose(o, p.Range) {
+	if !o.IsVar() && !e.instanceOfLoose(sess, o, p.Range) {
 		return false
 	}
 	return true
@@ -478,7 +514,7 @@ func (e *Extractor) orientationTypable(s, o rdf.Term, p kb.Property) bool {
 
 // instanceOfLoose checks rdf:type membership; unknown/Thing constraints
 // pass.
-func (e *Extractor) instanceOfLoose(entity, class rdf.Term) bool {
+func (e *Extractor) instanceOfLoose(sess *sparql.Session, entity, class rdf.Term) bool {
 	if class.IsZero() || class.Value == rdf.IRIThing || !entity.IsIRI() {
 		return true
 	}
@@ -486,16 +522,16 @@ func (e *Extractor) instanceOfLoose(entity, class rdf.Term) bool {
 		return true
 	}
 	// Types are materialised, so a direct triple lookup suffices.
-	return e.kb.Store.Has(rdf.Triple{S: entity, P: rdf.Type(), O: class})
+	return sess.Has(rdf.Triple{S: entity, P: rdf.Type(), O: class})
 }
 
 // typeMatches implements Table 1 (§2.3.2).
-func (e *Extractor) typeMatches(t rdf.Term, expected triplex.Expected) bool {
+func (e *Extractor) typeMatches(sess *sparql.Session, t rdf.Term, expected triplex.Expected) bool {
 	switch expected.Kind {
 	case triplex.ExpectPerson:
-		return e.isAny(t, "Person", "Organisation", "Company")
+		return e.isAny(sess, t, "Person", "Organisation", "Company")
 	case triplex.ExpectPlace:
-		return e.isAny(t, "Place")
+		return e.isAny(sess, t, "Place")
 	case triplex.ExpectDate:
 		return t.IsDate()
 	case triplex.ExpectNumeric:
@@ -507,12 +543,12 @@ func (e *Extractor) typeMatches(t rdf.Term, expected triplex.Expected) bool {
 	}
 }
 
-func (e *Extractor) isAny(t rdf.Term, classes ...string) bool {
+func (e *Extractor) isAny(sess *sparql.Session, t rdf.Term, classes ...string) bool {
 	if !t.IsIRI() {
 		return false
 	}
 	for _, c := range classes {
-		if e.kb.Store.Has(rdf.Triple{S: t, P: rdf.Type(), O: rdf.Ont(c)}) {
+		if sess.Has(rdf.Triple{S: t, P: rdf.Type(), O: rdf.Ont(c)}) {
 			return true
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kb"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 	"repro/internal/triplex"
 )
 
@@ -15,26 +16,27 @@ import (
 func TestOrientationsDataProperty(t *testing.T) {
 	k, _ := setup(t)
 	ex := New(k, DefaultConfig())
+	sess := sparql.NewSession(k.Store)
 	height, _ := k.PropertyByLocal("height")
 
 	// Entity subject, var object: the natural direction.
-	pats := ex.orientations(height, rdf.Res("Michael_Jordan"), rdf.NewVar("x"))
+	pats := ex.orientations(sess, height, rdf.Res("Michael_Jordan"), rdf.NewVar("x"))
 	if len(pats) != 1 || pats[0].S != rdf.Res("Michael_Jordan") {
 		t.Errorf("natural data orientation = %v", pats)
 	}
 	// Var subject, entity object: flipped so the literal stays on the
 	// object side.
-	pats2 := ex.orientations(height, rdf.NewVar("x"), rdf.Res("Michael_Jordan"))
+	pats2 := ex.orientations(sess, height, rdf.NewVar("x"), rdf.Res("Michael_Jordan"))
 	if len(pats2) != 1 || pats2[0].S != rdf.Res("Michael_Jordan") || !pats2[0].O.IsVar() {
 		t.Errorf("flipped data orientation = %v", pats2)
 	}
 	// Both vars.
-	pats3 := ex.orientations(height, rdf.NewVar("a"), rdf.NewVar("b"))
+	pats3 := ex.orientations(sess, height, rdf.NewVar("a"), rdf.NewVar("b"))
 	if len(pats3) != 1 {
 		t.Errorf("var-var data orientation = %v", pats3)
 	}
 	// Domain-violating subject produces nothing.
-	pats4 := ex.orientations(height, rdf.Res("Ankara"), rdf.NewVar("x"))
+	pats4 := ex.orientations(sess, height, rdf.Res("Ankara"), rdf.NewVar("x"))
 	if len(pats4) != 0 {
 		t.Errorf("domain violation accepted: %v", pats4)
 	}
@@ -43,22 +45,23 @@ func TestOrientationsDataProperty(t *testing.T) {
 func TestOrientationsObjectProperty(t *testing.T) {
 	k, _ := setup(t)
 	ex := New(k, DefaultConfig())
+	sess := sparql.NewSession(k.Store)
 	spouse, _ := k.PropertyByLocal("spouse")
 
 	// Person-Person property: both orientations type-check.
-	pats := ex.orientations(spouse, rdf.NewVar("x"), rdf.Res("Barack_Obama"))
+	pats := ex.orientations(sess, spouse, rdf.NewVar("x"), rdf.Res("Barack_Obama"))
 	if len(pats) != 2 {
 		t.Errorf("spouse orientations = %v, want both", pats)
 	}
 	// capital: Country→City; with a City entity only one direction fits.
 	capital, _ := k.PropertyByLocal("capital")
-	pats2 := ex.orientations(capital, rdf.NewVar("x"), rdf.Res("Ankara"))
+	pats2 := ex.orientations(sess, capital, rdf.NewVar("x"), rdf.Res("Ankara"))
 	if len(pats2) != 1 || pats2[0].O != rdf.Res("Ankara") {
 		t.Errorf("capital orientations = %v, want Turkey-side var only", pats2)
 	}
 	// Entity typable in neither position: both orientations are kept as
 	// a fallback (the executor discards empty ones).
-	pats3 := ex.orientations(capital, rdf.NewVar("x"), rdf.Res("Michael_Jordan"))
+	pats3 := ex.orientations(sess, capital, rdf.NewVar("x"), rdf.Res("Michael_Jordan"))
 	if len(pats3) != 2 {
 		t.Errorf("fallback orientations = %v, want both", pats3)
 	}
@@ -67,6 +70,7 @@ func TestOrientationsObjectProperty(t *testing.T) {
 func TestTypeMatchesTable1(t *testing.T) {
 	k, _ := setup(t)
 	ex := New(k, DefaultConfig())
+	sess := sparql.NewSession(k.Store)
 	cases := []struct {
 		term rdf.Term
 		kind triplex.ExpectedKind
@@ -86,7 +90,7 @@ func TestTypeMatchesTable1(t *testing.T) {
 		{rdf.NewInteger(5), triplex.ExpectPerson, false}, // literal is no person
 	}
 	for _, c := range cases {
-		if got := ex.typeMatches(c.term, triplex.Expected{Kind: c.kind}); got != c.want {
+		if got := ex.typeMatches(sess, c.term, triplex.Expected{Kind: c.kind}); got != c.want {
 			t.Errorf("typeMatches(%v, %v) = %v, want %v", c.term, c.kind, got, c.want)
 		}
 	}
@@ -95,22 +99,23 @@ func TestTypeMatchesTable1(t *testing.T) {
 func TestInstanceOfLoose(t *testing.T) {
 	k, _ := setup(t)
 	ex := New(k, DefaultConfig())
+	sess := sparql.NewSession(k.Store)
 	// owl:Thing and zero constraints always pass.
-	if !ex.instanceOfLoose(rdf.Res("Ankara"), rdf.Term{}) {
+	if !ex.instanceOfLoose(sess, rdf.Res("Ankara"), rdf.Term{}) {
 		t.Error("zero class should pass")
 	}
-	if !ex.instanceOfLoose(rdf.Res("Ankara"), rdf.NewIRI(rdf.IRIThing)) {
+	if !ex.instanceOfLoose(sess, rdf.Res("Ankara"), rdf.NewIRI(rdf.IRIThing)) {
 		t.Error("owl:Thing should pass")
 	}
 	// Non-dbont constraint passes (xsd types on data properties).
-	if !ex.instanceOfLoose(rdf.Res("Ankara"), rdf.NewIRI(rdf.XSDDouble)) {
+	if !ex.instanceOfLoose(sess, rdf.Res("Ankara"), rdf.NewIRI(rdf.XSDDouble)) {
 		t.Error("non-ontology range should pass")
 	}
 	// Literals pass (type checking handles them separately).
-	if !ex.instanceOfLoose(rdf.NewInteger(3), rdf.Ont("Person")) {
+	if !ex.instanceOfLoose(sess, rdf.NewInteger(3), rdf.Ont("Person")) {
 		t.Error("literal should pass the loose check")
 	}
-	if ex.instanceOfLoose(rdf.Res("Ankara"), rdf.Ont("Person")) {
+	if ex.instanceOfLoose(sess, rdf.Res("Ankara"), rdf.Ont("Person")) {
 		t.Error("Ankara is not a Person")
 	}
 }

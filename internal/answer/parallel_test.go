@@ -363,7 +363,7 @@ func TestBooleanAllErrorsStaysUnanswered(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
 		res := &Result{Candidates: []CandidateQuery{brokenQuery(), brokenQuery()}}
-		if _, err := e.executeBoolean(context.Background(), res); err != nil {
+		if _, err := e.executeBoolean(context.Background(), sparql.NewSession(k.Store), res); err != nil {
 			t.Fatal(err)
 		}
 		if res.Winning != nil || len(res.Answers) != 0 {
@@ -385,7 +385,7 @@ func TestBooleanFallbackSkipsErroredCandidates(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
 		res := &Result{Candidates: []CandidateQuery{brokenQuery(), falseAsk}}
-		if _, err := e.executeBoolean(context.Background(), res); err != nil {
+		if _, err := e.executeBoolean(context.Background(), sparql.NewSession(k.Store), res); err != nil {
 			t.Fatal(err)
 		}
 		if res.Winning == nil {
@@ -406,7 +406,7 @@ func TestBooleanTrueStillWinsPastErrors(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		e := New(k, Config{MaxQueries: 256, EnableBoolean: true, Parallelism: p})
 		res := &Result{Candidates: []CandidateQuery{brokenQuery(), trueAsk}}
-		if _, err := e.executeBoolean(context.Background(), res); err != nil {
+		if _, err := e.executeBoolean(context.Background(), sparql.NewSession(k.Store), res); err != nil {
 			t.Fatal(err)
 		}
 		if res.Winning != &res.Candidates[1] || res.Answers[0].Value != "true" {

@@ -46,6 +46,8 @@ import (
 	"repro/internal/propmap"
 	"repro/internal/qacache"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/store"
 	"repro/internal/triplex"
 	"repro/internal/wordnet"
 )
@@ -246,10 +248,15 @@ type Result struct {
 	// time, candidate counts and cache hit/miss.
 	Trace *pipeline.Trace
 
-	// snapGen is the KB snapshot generation captured at request start
-	// when the answer cache is enabled; cache lookups and fills both
-	// use it, so a concurrent KB write between them cannot stamp a
-	// stale answer with a fresh generation.
+	// snap is the KB snapshot pinned at request start: the answer stage
+	// builds its per-question sparql.Session over it, so everything
+	// §2.3 executes reads exactly this state. snapGen is its
+	// generation; cache lookups and fills both use it, so a concurrent
+	// KB write mid-request cannot stamp a stale answer with a fresh
+	// generation — the stamped generation is by construction the one
+	// that was executed. snap is cleared before AnswerCtx returns so
+	// held Results and cache entries never retain retired snapshots.
+	snap    *store.Snapshot
 	snapGen uint64
 }
 
@@ -364,7 +371,10 @@ type answerStage struct{ s *System }
 
 func (st answerStage) Name() string { return StageAnswer }
 func (st answerStage) Run(ctx context.Context, res *Result, tr *StageTrace) error {
-	ans, err := st.s.extractor.ExtractCtx(ctx, res.Mapping)
+	// One question = one execution session = one snapshot pin: every
+	// candidate query, the COUNT retry and the type filter read the
+	// snapshot AnswerCtx pinned at request entry.
+	ans, err := st.s.extractor.ExtractSessionCtx(ctx, res.Mapping, sparql.NewSnapshotSession(res.snap))
 	if err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err() // cancellation: surfaced by pipeline.Run
@@ -408,11 +418,14 @@ func (s *System) Answer(question string) *Result {
 // each stage that ran.
 func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
 	res := &Result{Question: strings.TrimSpace(question)}
-	if s.cache != nil {
-		res.snapGen = s.KB.Store.Snapshot().Gen()
-	}
+	res.snap = s.KB.Store.Snapshot()
+	res.snapGen = res.snap.Gen()
 	tr, err := pipeline.Run(ctx, s.stages, res)
 	res.Trace = tr
+	// The snapshot is only needed while the stages run; drop the pin so
+	// callers (or cache entries) holding Results do not retain retired
+	// snapshots against a store that keeps writing.
+	res.snap = nil
 	if err != nil {
 		res.Status = StatusCanceled
 		res.Err = err
@@ -421,7 +434,7 @@ func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
 	if s.cache != nil && !tr.CacheHit() {
 		// Cache the terminal result (any status: failure outcomes are
 		// deterministic too) without the request-scoped trace, stamped
-		// with the generation the request started from.
+		// with the generation the request executed against.
 		cached := *res
 		cached.Trace = nil
 		s.cache.Put(qacache.Normalize(res.Question), res.snapGen, &cached)

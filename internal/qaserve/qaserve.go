@@ -4,6 +4,8 @@
 //
 //	POST /v1/answer        {"question": "..."}        → one AnswerResponse
 //	POST /v1/answer/batch  {"questions": ["...", …]}  → {"results": [AnswerResponse, …]}
+//	                       (questions fan out across Config.BatchParallelism
+//	                       workers; results keep request order)
 //	GET  /healthz          liveness + KB snapshot info
 //	GET  /metrics          Prometheus text format: request counters,
 //	                       cache hit/miss, per-stage latency histograms
@@ -24,7 +26,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -43,22 +48,40 @@ type Config struct {
 	// MaxBatch bounds the questions accepted by /v1/answer/batch
 	// (default 64).
 	MaxBatch int
+	// BatchParallelism bounds the worker pool a /v1/answer/batch
+	// request fans its questions across: 0 uses GOMAXPROCS, 1 (or any
+	// negative value) answers sequentially. Every worker beyond the
+	// first charges an extra MaxInFlight slot (taken non-blockingly:
+	// a busy server shrinks the pool toward sequential rather than
+	// rejecting or oversubscribing), so the admission limit bounds
+	// executing pipelines, not just accepted requests. Per-question
+	// results are identical at every setting — each question runs the
+	// same deterministic pipeline under its own timeout.
+	BatchParallelism int
 }
 
 // Server is the HTTP serving layer. Build with New, mount Handler.
 type Server struct {
-	sys      *core.System
-	timeout  time.Duration
-	maxBatch int
-	sem      chan struct{} // nil = unlimited
-	m        *metrics
+	sys          *core.System
+	timeout      time.Duration
+	maxBatch     int
+	batchWorkers int
+	sem          chan struct{} // nil = unlimited
+	m            *metrics
 }
 
 // New builds a Server over the assembled pipeline.
 func New(cfg Config) *Server {
-	s := &Server{sys: cfg.Sys, timeout: cfg.RequestTimeout, maxBatch: cfg.MaxBatch, m: newMetrics()}
+	s := &Server{sys: cfg.Sys, timeout: cfg.RequestTimeout, maxBatch: cfg.MaxBatch,
+		batchWorkers: cfg.BatchParallelism, m: newMetrics()}
 	if s.maxBatch <= 0 {
 		s.maxBatch = 64
+	}
+	if s.batchWorkers == 0 {
+		s.batchWorkers = runtime.GOMAXPROCS(0)
+	}
+	if s.batchWorkers < 1 {
+		s.batchWorkers = 1
 	}
 	if cfg.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
@@ -261,12 +284,75 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	resp := BatchResponse{Results: make([]AnswerResponse, 0, len(req.Questions))}
-	for _, q := range req.Questions {
-		res := s.answer(r, q)
-		if res.Status == core.StatusCanceled && r.Context().Err() != nil {
+	results := make([]*core.Result, len(req.Questions))
+	workers := s.batchWorkers
+	if workers > len(req.Questions) {
+		workers = len(req.Questions)
+	}
+	// The batch holds one in-flight slot; every extra worker charges
+	// another, so MaxInFlight keeps bounding the number of *executing
+	// pipelines*, not just accepted HTTP requests. When the server is
+	// busy the extra slots simply are not there and the batch degrades
+	// toward sequential instead of oversubscribing the CPU under the
+	// per-question timeouts.
+	if s.sem != nil && workers > 1 {
+		extra := 0
+		for extra < workers-1 {
+			select {
+			case s.sem <- struct{}{}:
+				extra++
+				continue
+			default:
+			}
+			break
+		}
+		workers = 1 + extra
+		defer func() {
+			for i := 0; i < extra; i++ {
+				<-s.sem
+			}
+		}()
+	}
+	if workers <= 1 {
+		// Sequential reference path (BatchParallelism 1, or a
+		// single-question batch).
+		for i, q := range req.Questions {
+			res := s.answer(r, q)
+			if res.Status == core.StatusCanceled && r.Context().Err() != nil {
+				return // client went away mid-batch
+			}
+			results[i] = res
+		}
+	} else {
+		// Fan the questions across the worker pool. Each question runs
+		// the full pipeline under its own timeout (s.answer), the
+		// pipeline is safe for concurrent callers, and results land at
+		// their request index, so the response order matches the
+		// request order exactly as in the sequential path.
+		var (
+			next int64
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(req.Questions) || r.Context().Err() != nil {
+						return
+					}
+					results[i] = s.answer(r, req.Questions[i])
+				}
+			}()
+		}
+		wg.Wait()
+		if r.Context().Err() != nil {
 			return // client went away mid-batch
 		}
+	}
+	resp := BatchResponse{Results: make([]AnswerResponse, 0, len(results))}
+	for _, res := range results {
 		resp.Results = append(resp.Results, s.toResponse(res))
 	}
 	// qaserve_requests_total counts HTTP requests, so a batch counts

@@ -408,3 +408,114 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 }
+
+// TestBatchParallelMatchesSequential: fanning a batch across the
+// worker pool must return the same answers in the same (request)
+// order as the sequential path, at every parallelism level. Run under
+// -race this also exercises concurrent AnswerCtx calls sharing one
+// System from inside a single HTTP request.
+func TestBatchParallelMatchesSequential(t *testing.T) {
+	questions := []string{
+		"Which book is written by Orhan Pamuk?",
+		"How tall is Michael Jordan?",
+		"Where did Abraham Lincoln die?",
+		"gibberish blob",
+		"How many people live in Istanbul?",
+		"Who is the mayor of Berlin?",
+	}
+	run := func(parallelism int) BatchResponse {
+		srv := New(Config{Sys: testSystem(t), BatchParallelism: parallelism})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/answer/batch",
+			BatchRequest{Questions: questions})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parallelism=%d: status %d, body %s", parallelism, resp.StatusCode, body)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(body, &br); err != nil {
+			t.Fatal(err)
+		}
+		return br
+	}
+	key := func(br BatchResponse) string {
+		var sb strings.Builder
+		for _, r := range br.Results {
+			fmt.Fprintf(&sb, "%s=%s:%v;", r.Question, r.Status, r.Answers)
+		}
+		return sb.String()
+	}
+	want := key(run(1))
+	if !strings.Contains(want, "Orhan") {
+		t.Fatalf("sequential reference looks wrong: %s", want)
+	}
+	for _, p := range []int{2, 4, 8} {
+		if got := key(run(p)); got != want {
+			t.Fatalf("parallelism=%d diverged:\nseq: %s\npar: %s", p, want, got)
+		}
+	}
+}
+
+// TestBatchParallelClientGone: a client disconnect mid-batch stops the
+// fan-out without writing a response and leaves the server reusable.
+func TestBatchParallelClientGone(t *testing.T) {
+	srv := New(Config{Sys: testSystem(t), BatchParallelism: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	questions := make([]string, 16)
+	for i := range questions {
+		// Unique texts defeat the answer cache so the batch does real work.
+		questions[i] = fmt.Sprintf("Where did Abraham Lincoln die? (%d)", i)
+	}
+	b, _ := json.Marshal(BatchRequest{Questions: questions})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/answer/batch", bytes.NewReader(b))
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	if resp, err := ts.Client().Do(req); err == nil {
+		resp.Body.Close() // the batch may have finished before the cancel landed
+	}
+
+	// The server keeps serving normally afterwards.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/answer",
+		AnswerRequest{Question: "How tall is Michael Jordan?"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel request: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestBatchParallelChargesInFlightSlots: extra batch workers charge
+// MaxInFlight slots non-blockingly — a tight admission limit degrades
+// the pool toward sequential (never deadlocks, never rejects the
+// already-admitted batch) and the slots are released afterwards.
+func TestBatchParallelChargesInFlightSlots(t *testing.T) {
+	srv := New(Config{Sys: testSystem(t), MaxInFlight: 1, BatchParallelism: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	questions := []string{
+		"Which book is written by Orhan Pamuk?",
+		"How tall is Michael Jordan?",
+		"Where did Abraham Lincoln die?",
+	}
+	// The batch's own slot is the only one; all extra worker slots are
+	// unavailable, so this must run sequentially and still answer.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/answer/batch",
+		BatchRequest{Questions: questions})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 || !br.Results[0].Answered {
+		t.Fatalf("results = %+v", br.Results)
+	}
+	// All slots released: a follow-up single request is admitted.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/answer",
+		AnswerRequest{Question: "How tall is Michael Jordan?"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-batch request: status %d body %s", resp.StatusCode, body)
+	}
+}

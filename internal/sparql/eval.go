@@ -1,4 +1,6 @@
-// SPARQL execution engine.
+// Package sparql parses and executes the SPARQL fragment the question
+// answering pipeline generates, over the ID-space surface of
+// internal/store.
 //
 // # ID-space execution with late materialization
 //
@@ -14,20 +16,40 @@
 // materialised only when a consumer asks for them (and, transiently,
 // when a FILTER or ORDER BY expression needs term semantics).
 //
-// # Snapshot-pinned reads
+// # Sessions and snapshot-pinned reads
 //
-// compile pins one immutable store.Snapshot and the whole query runs
-// against it: constant resolution, cardinality estimation, every index
-// scan and the final dictionary view all read the same frozen state.
-// Queries therefore never block behind concurrent bulk loads (the store
-// publishes new snapshots alongside) and never observe a half-applied
-// AddAll batch.
+// Every query executes inside a Session pinned to one immutable
+// store.Snapshot: constant resolution, cardinality estimation, every
+// index scan and the final dictionary view all read the same frozen
+// state, so queries never block behind concurrent bulk loads (the
+// store publishes new snapshots alongside) and never observe a
+// half-applied AddAll batch. The package-level Execute/ExecuteCtx wrap
+// each call in a throwaway single-query session; callers with many
+// related queries — one question's §2.3 candidate fan-out — build one
+// Session per question and execute all candidates through it, sharing
+// memoized term resolution, base-pattern scans and exact cardinalities
+// across the siblings. The session lifecycle, what exactly is memoized
+// and why the sharing is sound (including under the concurrent fan-out
+// pool) are documented in session.go.
+//
+// # Join strategy
+//
+// Blocks join greedily by exact cardinality (pickPattern; each
+// compiled pattern's base cardinality is resolved once at compile
+// time). A pattern whose only variable is already bound by the block
+// degenerates to an existence filter and is answered by one sorted-ID
+// galloping merge against the store's posting list (extendStep /
+// mergeFilter) instead of a per-row index probe; all other patterns
+// extend row by row over ForEachMatchIDs, replaying the session's
+// memoized scan when the pattern is unsubstituted. DISTINCT results
+// without ORDER BY deduplicate in ID space before the final
+// deterministic term sort touches them. None of these strategies
+// changes observable results — only which physical reads produce them.
 
 package sparql
 
 import (
 	"context"
-	"fmt"
 	"regexp"
 	"sort"
 	"strings"
@@ -49,16 +71,14 @@ func Execute(st *store.Store, q *Query) (*Result, error) {
 // cancelled context. Speculative callers — the concurrent candidate
 // fan-out in internal/answer — use this to abandon in-flight losers
 // once a higher-ranked candidate has won.
+//
+// Each call runs in a fresh single-query Session (one snapshot pin, no
+// sharing). Callers executing many related queries — one question's
+// candidate fan-out — should build one Session and execute through it
+// so the candidates share constant resolution, base scans and
+// cardinalities; results are identical either way.
 func ExecuteCtx(ctx context.Context, st *store.Store, q *Query) (*Result, error) {
-	if q == nil {
-		return nil, fmt.Errorf("sparql: nil query")
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	ex := compile(st, q)
-	ex.ctx = ctx
-	return ex.run()
+	return NewSession(st).ExecuteCtx(ctx, q)
 }
 
 // ExecuteString parses and runs src against the store.
@@ -79,17 +99,22 @@ func ExecuteStringCtx(ctx context.Context, st *store.Store, src string) (*Result
 // cpat is a triple pattern compiled to ID space: per position either a
 // constant dictionary ID (vars[i] < 0) or a row column (ids[i] == 0).
 // unknown marks a pattern with a constant absent from the dictionary —
-// it can never match.
+// it can never match. baseCard is the pattern's exact unsubstituted
+// cardinality, resolved once at compile time through the session memo
+// (the planner re-reads it at every join step of every block).
 type cpat struct {
-	ids     [3]store.ID
-	vars    [3]int
-	unknown bool
+	ids      [3]store.ID
+	vars     [3]int
+	unknown  bool
+	baseCard int
 }
 
-// executor holds one compiled query: the pinned store snapshot, the
-// column layout, and every pattern block pre-resolved to IDs.
+// executor holds one compiled query: the session (whose pinned
+// snapshot every read of the query uses), the column layout, and every
+// pattern block pre-resolved to IDs.
 type executor struct {
-	snap  *store.Snapshot // pinned once; every read of the query uses it
+	sess  *Session
+	snap  *store.Snapshot // the session's pinned snapshot
 	q     *Query
 	ctx   context.Context // cancellation, checked between join steps
 	terms []rdf.Term      // snap.TermsView(): terms[id-1] materialises an ID
@@ -110,12 +135,12 @@ func (ex *executor) term(id store.ID) rdf.Term {
 	return ex.terms[id-1]
 }
 
-// compile builds the column layout and resolves all constants to IDs,
-// pinning the store snapshot the whole query will read.
-func compile(st *store.Store, q *Query) *executor {
-	snap := st.Snapshot()
-	ex := &executor{snap: snap, q: q, ctx: context.Background(),
-		terms: snap.TermsView(), varCols: map[string]int{}}
+// compile builds the column layout and resolves all constants to IDs
+// through the session's memoized dictionary lookups; the whole query
+// reads the session's pinned snapshot.
+func compile(sess *Session, q *Query) *executor {
+	ex := &executor{sess: sess, snap: sess.snap, q: q, ctx: context.Background(),
+		terms: sess.terms, varCols: map[string]int{}}
 	// Column order must match Query.Vars() so SELECT * projects in the
 	// documented order of first appearance.
 	for _, v := range q.Vars() {
@@ -153,12 +178,19 @@ func (ex *executor) compilePattern(p rdf.Triple) cpat {
 			cp.vars[i] = ex.varCols[t.Value]
 			continue
 		}
-		id, ok := ex.snap.Lookup(t)
+		id, ok := ex.sess.resolve(t)
 		if !ok {
 			cp.unknown = true
 			continue
 		}
 		cp.ids[i] = id
+	}
+	if !cp.unknown {
+		// Hoisted once per compiled pattern: the planner re-reads this
+		// at every join step of every block, and the store's cached
+		// bucket totals make the estimate O(1) even for 1-bound
+		// patterns.
+		cp.baseCard = ex.snap.EstimateCardinalityIDs(cp.ids)
 	}
 	return cp
 }
@@ -222,14 +254,36 @@ func substituted(cp cpat, r []store.ID) [3]store.ID {
 
 // extendInto scans the matches of cp under each row of src and appends
 // the extended rows to dst. Repeated variables within a pattern are
-// checked for consistency.
+// checked for consistency. A row under which cp stays fully
+// unsubstituted replays the session-memoized base scan instead of
+// re-walking the index — the replay yields exactly the tuples the
+// direct scan would produce, in the same order, so sibling candidate
+// queries (and repeated cross-product rows) share one physical scan.
 func (ex *executor) extendInto(dst *rowset, src *rowset, cp cpat) {
 	if cp.unknown {
 		return
 	}
+	width := 0
+	for _, id := range cp.ids {
+		if id == 0 {
+			width++
+		}
+	}
+	var memo *scanEntry
+	memoTried := false
 	for i := 0; i < src.n; i++ {
 		r := src.row(i)
 		pat := substituted(cp, r)
+		if pat == cp.ids && width > 0 && cp.baseCard >= scanMemoMin {
+			if !memoTried {
+				memoTried = true
+				memo = ex.sess.baseScan(cp.ids, cp.baseCard, width)
+			}
+			if memo != nil {
+				ex.replayScan(dst, r, cp, memo)
+				continue
+			}
+		}
 		ex.snap.ForEachMatchIDs(pat, func(s, p, o store.ID) bool {
 			nr := dst.push(r)
 			match := [3]store.ID{s, p, o}
@@ -249,6 +303,144 @@ func (ex *executor) extendInto(dst *rowset, src *rowset, cp cpat) {
 	}
 }
 
+// replayScan extends one row with the memoized matches of cp: the scan
+// entry holds the wildcard-position values of every match, so only the
+// variable columns need filling (a zero position in cp.ids is always a
+// variable — unknown constants never reach execution). The repeated-
+// variable consistency check mirrors the direct-scan path.
+func (ex *executor) replayScan(dst *rowset, r []store.ID, cp cpat, memo *scanEntry) {
+	w := memo.width
+	for j := 0; j+w <= len(memo.vals); j += w {
+		nr := dst.push(r)
+		k := j
+		for pos, col := range cp.vars {
+			if cp.ids[pos] != 0 {
+				continue
+			}
+			v := memo.vals[k]
+			k++
+			if nr[col] == 0 {
+				nr[col] = v
+			} else if nr[col] != v {
+				dst.pop()
+				break
+			}
+		}
+	}
+}
+
+// semiJoinList reports whether cp is a pure existence filter under the
+// block's bound columns — exactly one variable position, already bound,
+// and two constants, so every row substitutes cp to a fully ground
+// triple — and returns the sorted posting list of the free position.
+// One linear merge over that list then answers every row's existence
+// check, replacing a per-row bucket lookup (the dominant §2.3 join
+// cost: the `?p rdf:type Class` filter against thousands of candidate
+// rows).
+func (ex *executor) semiJoinList(cp cpat, bound []bool) (col int, lst []store.ID, ok bool) {
+	if cp.unknown {
+		return 0, nil, false
+	}
+	col = -1
+	for _, c := range cp.vars {
+		if c < 0 {
+			continue
+		}
+		if col >= 0 {
+			return 0, nil, false // two variable positions
+		}
+		col = c
+	}
+	if col < 0 || !bound[col] {
+		return 0, nil, false
+	}
+	lst, ok = ex.snap.PostingList(cp.ids)
+	return col, lst, ok
+}
+
+// mergeFilter keeps only the rows whose col value appears in the
+// sorted list, walking rows and list together in one in-place pass
+// (rows that keep their position are not copied). Block-join rowsets
+// keep the column in scan (non-decreasing) order, so the cursor only
+// gallops forward; an out-of-order value restarts the search, keeping
+// the filter correct for any row order. Row order is preserved, so the
+// result is bit-identical to the per-row existence scan it replaces.
+func mergeFilter(rows *rowset, col int, lst []store.ID) {
+	stride, buf := rows.stride, rows.buf
+	w, lo := 0, 0
+	var prev store.ID
+	for i := 0; i < rows.n; i++ {
+		off := i * stride
+		v := buf[off+col]
+		if v < prev {
+			lo = 0
+		}
+		prev = v
+		lo = gallopTo(lst, lo, v)
+		if lo < len(lst) && lst[lo] == v {
+			if w != i {
+				copy(buf[w*stride:(w+1)*stride], buf[off:off+stride])
+			}
+			w++
+		}
+	}
+	rows.n = w
+	rows.buf = buf[:w*stride]
+}
+
+// gallopTo returns the smallest index i >= lo with lst[i] >= v:
+// exponential steps from lo bracket the window, then a hand-rolled
+// bisection finishes inside it (this runs once per row of a block
+// join — no closure indirection).
+func gallopTo(lst []store.ID, lo int, v store.ID) int {
+	n := len(lst)
+	if lo >= n || lst[lo] >= v {
+		return lo
+	}
+	step := 1
+	hi := lo + step
+	for hi < n && lst[hi] < v {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Invariant: lst[lo] < v, and hi == n or lst[hi] >= v.
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lst[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// extendStep joins cp into rows: a pure existence filter merges against
+// the pattern's sorted posting list in place; everything else goes
+// through the row-by-row scan extension. When the (single) source row
+// leaves cp unsubstituted, baseCard is the exact output size, so the
+// next arena is allocated in one piece instead of growing by powers of
+// two under push.
+func (ex *executor) extendStep(rows rowset, cp cpat, bound []bool) rowset {
+	if col, lst, ok := ex.semiJoinList(cp, bound); ok {
+		mergeFilter(&rows, col, lst)
+		return rows
+	}
+	capIDs := len(rows.buf)
+	if rows.n == 1 && !cp.unknown && substituted(cp, rows.row(0)) == cp.ids {
+		if c := cp.baseCard * rows.stride; c > capIDs {
+			capIDs = c
+		}
+	}
+	next := rowset{stride: rows.stride, buf: make([]store.ID, 0, capIDs)}
+	ex.extendInto(&next, &rows, cp)
+	return next
+}
+
 // pickPattern returns the index of the most selective remaining
 // pattern under the representative row's bindings: smallest estimated
 // cardinality, with a heavy penalty for patterns not sharing a variable
@@ -260,7 +452,16 @@ func (ex *executor) pickPattern(remaining []cpat, bound []bool, anyBound bool, r
 	for i, cp := range remaining {
 		card := 0
 		if !cp.unknown {
-			card = ex.snap.EstimateCardinalityIDs(substituted(cp, rep))
+			// Unsubstituted patterns read the cardinality resolved once
+			// at compile time (shared through the session across every
+			// sibling candidate and every join step of every block);
+			// only genuinely row-substituted patterns hit the snapshot,
+			// and those estimates are O(1) list-length reads.
+			if pat := substituted(cp, rep); pat == cp.ids {
+				card = cp.baseCard
+			} else {
+				card = ex.snap.EstimateCardinalityIDs(pat)
+			}
 		}
 		if anyBound && !sharesVar(cp, bound) {
 			card *= 1000
@@ -295,9 +496,7 @@ func (ex *executor) joinAll(rows rowset, pats []cpat) rowset {
 		cp := remaining[bestIdx]
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 
-		next := rowset{stride: rows.stride, buf: make([]store.ID, 0, len(rows.buf))}
-		ex.extendInto(&next, &rows, cp)
-		rows = next
+		rows = ex.extendStep(rows, cp, bound)
 		for _, col := range cp.vars {
 			if col >= 0 {
 				bound[col] = true
@@ -387,9 +586,7 @@ func (ex *executor) evalBGP(pats []cpat, filters []filterCols) rowset {
 		cp := remaining[bestIdx]
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 
-		next := rowset{stride: ex.ncols, buf: make([]store.ID, 0, len(rows.buf))}
-		ex.extendInto(&next, &rows, cp)
-		rows = next
+		rows = ex.extendStep(rows, cp, bound)
 		for _, col := range cp.vars {
 			if col >= 0 {
 				bound[col] = true
@@ -572,6 +769,57 @@ func (ex *executor) run() (*Result, error) {
 		}
 	}
 
+	// DISTINCT with no ORDER BY: dedup in ID space *before* the
+	// deterministic sort, so the sort touches only the distinct rows.
+	// The §2.3 candidate queries are SELECT DISTINCT ?x over thousands
+	// of pre-DISTINCT join rows with a handful of distinct answers, and
+	// sorting all of them by materialised terms dominated their cost.
+	// The output is identical to dedup-after-sort: duplicate rows
+	// project identically (so which survives is unobservable) and the
+	// final order is fully determined by the projected terms.
+	if q.Distinct && len(q.OrderBy) == 0 {
+		projected := ex.projectDistinct(&rows, projCols)
+		nproj := len(projCols)
+		// Distinct rows have no ties under the projected-term order (two
+		// distinct IDs always hold distinct terms), so the unstable sort
+		// is deterministic here and spares the stable sort's merge
+		// passes. Single-column results sort their ID arena directly.
+		if nproj == 1 {
+			ids := projected.buf
+			sort.Slice(ids, func(a, b int) bool {
+				ia, ib := ids[a], ids[b]
+				if ia == 0 {
+					return ib != 0
+				}
+				if ib == 0 {
+					return false
+				}
+				return ex.term(ia).Compare(ex.term(ib)) < 0
+			})
+			first, last := window(q, projected.n)
+			out := make([]store.ID, last-first)
+			copy(out, ids[first:last])
+			return newColumnarResult(vars, out, last-first, ex.terms), nil
+		}
+		idCols := make([]int, nproj)
+		for i := range idCols {
+			idCols[i] = i
+		}
+		perm := make([]int, projected.n)
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool {
+			return ex.rowLess(projected.row(perm[a]), projected.row(perm[b]), idCols)
+		})
+		first, last := window(q, projected.n)
+		out := make([]store.ID, 0, (last-first)*nproj)
+		for _, i := range perm[first:last] {
+			out = append(out, projected.row(i)...)
+		}
+		return newColumnarResult(vars, out, last-first, ex.terms), nil
+	}
+
 	// ORDER BY: precompute the sort key values once per row, then sort a
 	// permutation. Without ORDER BY, sort rows by the projected terms so
 	// results are deterministic.
@@ -646,10 +894,7 @@ func (ex *executor) run() (*Result, error) {
 		}
 		projected.n++
 		if q.Distinct {
-			keyBuf = keyBuf[:0]
-			for _, id := range projected.buf[start:] {
-				keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-			}
+			keyBuf = appendRowKey(keyBuf[:0], projected.buf[start:])
 			if seen[string(keyBuf)] {
 				projected.pop()
 				continue
@@ -662,7 +907,19 @@ func (ex *executor) run() (*Result, error) {
 	// window are ever exposed, and they stay columnar — the Result keeps
 	// the flat ID rows plus the pinned dictionary view, and terms
 	// materialise only when a consumer reads them.
-	first, last := 0, projected.n
+	first, last := window(q, projected.n)
+
+	// Copy the surviving window out of the arena so the (possibly much
+	// larger) intermediate buffer can be collected.
+	out := make([]store.ID, (last-first)*nproj)
+	copy(out, projected.buf[first*nproj:last*nproj])
+	return newColumnarResult(vars, out, last-first, ex.terms), nil
+}
+
+// window applies OFFSET/LIMIT to a result of n rows, returning the
+// half-open surviving row range.
+func window(q *Query, n int) (first, last int) {
+	first, last = 0, n
 	if q.Offset > 0 && q.Offset < last {
 		first = q.Offset
 	} else if q.Offset >= last {
@@ -671,12 +928,65 @@ func (ex *executor) run() (*Result, error) {
 	if q.Limit >= 0 && first+q.Limit < last {
 		last = first + q.Limit
 	}
+	return first, last
+}
 
-	// Copy the surviving window out of the arena so the (possibly much
-	// larger) intermediate buffer can be collected.
-	out := make([]store.ID, (last-first)*nproj)
-	copy(out, projected.buf[first*nproj:last*nproj])
-	return newColumnarResult(vars, out, last-first, ex.terms), nil
+// projectDistinct projects rows into a fresh arena in input order,
+// dropping duplicate projections by ID equality (two rows bind the
+// same terms iff they hold the same IDs). Single-column projections —
+// the §2.3 candidate shape — dedup through a plain ID set with no
+// per-row key material at all.
+func (ex *executor) projectDistinct(rows *rowset, projCols []int) rowset {
+	nproj := len(projCols)
+	out := rowset{stride: nproj}
+	if nproj == 1 {
+		col := projCols[0]
+		seen := make(map[store.ID]bool, 64)
+		for i := 0; i < rows.n; i++ {
+			var id store.ID
+			if col >= 0 {
+				id = rows.row(i)[col]
+			}
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out.buf = append(out.buf, id)
+			out.n++
+		}
+		return out
+	}
+	seen := make(map[string]bool, 64)
+	keyBuf := make([]byte, 0, nproj*4)
+	for i := 0; i < rows.n; i++ {
+		r := rows.row(i)
+		start := len(out.buf)
+		for _, col := range projCols {
+			if col >= 0 {
+				out.buf = append(out.buf, r[col])
+			} else {
+				out.buf = append(out.buf, 0)
+			}
+		}
+		out.n++
+		keyBuf = appendRowKey(keyBuf[:0], out.buf[start:])
+		if seen[string(keyBuf)] {
+			out.pop()
+			continue
+		}
+		seen[string(keyBuf)] = true
+	}
+	return out
+}
+
+// appendRowKey appends the byte encoding of a projected ID row to buf
+// — the DISTINCT dedup key shared by the pre-sort (projectDistinct)
+// and post-sort (run) paths, so the two cannot diverge.
+func appendRowKey(buf []byte, ids []store.ID) []byte {
+	for _, id := range ids {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return buf
 }
 
 // rowLess orders two rows by the projected columns' terms (unbound

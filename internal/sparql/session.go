@@ -1,0 +1,216 @@
+// Per-question execution sessions.
+//
+// §2.3 of the paper executes a Cartesian product of candidate queries
+// per question, and the candidates in one fan-out differ only in a
+// single property URI or triple orientation: they share almost all of
+// their constant terms and base triple patterns. A Session is the
+// execution context that exploits that shared substructure. It is
+// pinned to exactly one store.Snapshot — every candidate of the
+// question reads the same frozen state — and it memoizes, across the
+// queries executed through it:
+//
+//   - term → dictionary-ID resolution (compile-time constant lookup),
+//   - concrete-pattern base scans (pattern key → flat wildcard-position
+//     ID tuples in sorted scan order), so dozens of sibling candidates
+//     replay each other's index scans instead of re-walking buckets.
+//     Only scans of at least scanMemoMin matches are memoized: tiny
+//     entity-bound scans cost less than the memo bookkeeping would.
+//
+// Pattern cardinalities need no session map: compile hoists each
+// pattern's exact base cardinality into the compiled form once (the
+// planner re-reads it at every join step of every block), and the
+// store's cached bucket totals make every estimate O(1).
+//
+// All memoization is safe under concurrent use: the fan-out worker pool
+// in internal/answer executes sibling candidates on one shared Session.
+// Safety rests on snapshot immutability — every memoized value is a
+// pure function of the pinned snapshot, so concurrent fills compute
+// identical entries and last-write-wins races are benign. Scan entries
+// additionally use a per-entry sync.Once so a scan is performed at most
+// once per session.
+//
+// Results are byte-identical with or without a session (and at any
+// parallelism): memoization replays exactly the tuples the direct scan
+// would produce, in the same order, and the planner sees exactly the
+// same (exact) cardinalities. The differential tests in session_test.go
+// and internal/answer pin this.
+//
+// Lifecycle: one Session per question (NewSession / NewSnapshotSession
+// at request entry), shared by the SELECT fan-out, the ASK path and the
+// COUNT-aggregation retry, then dropped — the memory it memoizes is
+// request-scoped and bounded (scanBudget caps the memoized scan volume;
+// oversized scans run direct and unmemoized).
+
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// scanBudget bounds the total number of IDs a session may memoize for
+// base-pattern scans (4 bytes each — the default is ~4 MiB). Patterns
+// whose exact result size would overflow the remaining budget are
+// executed directly and never memoized, so a pathological question
+// cannot make its session retain an arbitrarily large slice of the KB.
+const scanBudget = 1 << 20
+
+// scanMemoMin is the smallest base-scan cardinality worth memoizing:
+// below it, the lock/map bookkeeping of the memo costs more than the
+// direct index scan it would save, so tiny entity-bound scans bypass
+// the session entirely.
+const scanMemoMin = 24
+
+// scanEntry memoizes one base-pattern scan: the wildcard-position ID
+// values of every match, flat, width values per match, in the
+// deterministic sorted order ForEachMatchIDs yields. The once gate
+// makes concurrent requesters perform the scan exactly once.
+type scanEntry struct {
+	once  sync.Once
+	vals  []store.ID
+	width int
+}
+
+// Session is a per-question SPARQL execution context pinned to one
+// immutable store snapshot. All methods are safe for concurrent use;
+// see the package comment above for what is memoized and why that is
+// sound. The zero value is not usable — build one with NewSession or
+// NewSnapshotSession.
+type Session struct {
+	snap  *store.Snapshot
+	terms []rdf.Term
+
+	mu     sync.RWMutex
+	ids    map[rdf.Term]store.ID      // constant resolution; 0 = not in dictionary
+	scans  map[[3]store.ID]*scanEntry // nil entry: over budget, do not memoize
+	budget int                        // remaining scan-memo IDs
+}
+
+// NewSession pins the store's current snapshot and returns a session
+// over it.
+func NewSession(st *store.Store) *Session {
+	return NewSnapshotSession(st.Snapshot())
+}
+
+// NewSnapshotSession returns a session over an already-pinned snapshot
+// (the staged pipeline pins one snapshot per request and executes the
+// whole question against it). The memo maps initialise lazily so the
+// single-query compatibility path (package-level Execute) pays for
+// memoization only if its query would actually use it.
+func NewSnapshotSession(snap *store.Snapshot) *Session {
+	return &Session{snap: snap, terms: snap.TermsView(), budget: scanBudget}
+}
+
+// Snapshot returns the pinned snapshot every query of this session
+// reads.
+func (s *Session) Snapshot() *store.Snapshot { return s.snap }
+
+// Execute runs the query through the session.
+func (s *Session) Execute(q *Query) (*Result, error) {
+	return s.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx runs the query through the session under a request
+// context; see the package-level ExecuteCtx for the cancellation
+// contract. All queries of the session read its pinned snapshot.
+func (s *Session) ExecuteCtx(ctx context.Context, q *Query) (*Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("sparql: nil query")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ex := compile(s, q)
+	ex.ctx = ctx
+	return ex.run()
+}
+
+// resolve returns the dictionary ID of t in the pinned snapshot,
+// memoized across the session's queries (sibling candidates resolve
+// the same handful of constants over and over).
+func (s *Session) resolve(t rdf.Term) (store.ID, bool) {
+	s.mu.RLock()
+	id, hit := s.ids[t]
+	s.mu.RUnlock()
+	if hit {
+		return id, id != 0
+	}
+	id, ok := s.snap.Lookup(t)
+	if !ok {
+		id = 0
+	}
+	s.mu.Lock()
+	if s.ids == nil {
+		s.ids = make(map[rdf.Term]store.ID)
+	}
+	s.ids[t] = id
+	s.mu.Unlock()
+	return id, ok
+}
+
+// Has reports whether the ground triple is present in the pinned
+// snapshot, with memoized term resolution. The §2.3.2 expected-type
+// filter calls this once per produced answer, always with the same
+// class terms.
+func (s *Session) Has(t rdf.Triple) bool {
+	sid, ok := s.resolve(t.S)
+	if !ok {
+		return false
+	}
+	pid, ok := s.resolve(t.P)
+	if !ok {
+		return false
+	}
+	oid, ok := s.resolve(t.O)
+	if !ok {
+		return false
+	}
+	return s.snap.HasIDs(sid, pid, oid)
+}
+
+// baseScan returns the memoized scan for a base pattern key, running
+// the scan on first use. card is the pattern's exact cardinality
+// (already resolved at compile time) and width the number of wildcard
+// (zero) positions in the key. It returns nil when the scan does not
+// fit the session's remaining memo budget — the caller then scans the
+// snapshot directly.
+func (s *Session) baseScan(pat [3]store.ID, card, width int) *scanEntry {
+	s.mu.RLock()
+	e, hit := s.scans[pat]
+	s.mu.RUnlock()
+	if !hit {
+		size := card * width
+		s.mu.Lock()
+		if s.scans == nil {
+			s.scans = make(map[[3]store.ID]*scanEntry)
+		}
+		if e, hit = s.scans[pat]; !hit {
+			if size <= s.budget {
+				e = &scanEntry{width: width}
+				s.budget -= size
+			}
+			s.scans[pat] = e // possibly nil: over budget, never memoize
+		}
+		s.mu.Unlock()
+	}
+	if e == nil {
+		return nil
+	}
+	e.once.Do(func() {
+		e.vals = make([]store.ID, 0, card*width)
+		s.snap.ForEachMatchIDs(pat, func(a, b, c store.ID) bool {
+			m := [3]store.ID{a, b, c}
+			for i := range pat {
+				if pat[i] == 0 {
+					e.vals = append(e.vals, m[i])
+				}
+			}
+			return true
+		})
+	})
+	return e
+}

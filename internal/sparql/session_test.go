@@ -1,0 +1,246 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// The session differential: executing a workload of sibling queries
+// through one shared Session must produce results byte-identical to
+// fresh single-query execution — same rows, same order, same terms —
+// over randomized graphs, randomized candidate-style query batches and
+// concurrent execution. Run under -race this also exercises the
+// session's memoization locking the way the §2.3 fan-out pool does.
+
+// randStore builds a random graph shaped like the §2.3 workload: a
+// type layer plus several property layers over a shared entity space,
+// so sibling queries share base scans and posting lists.
+func randStore(rng *rand.Rand, nEnt, nProps int) (*store.Store, []rdf.Term) {
+	st := store.New()
+	var batch []rdf.Triple
+	classes := []rdf.Term{rdf.Ont("Person"), rdf.Ont("City"), rdf.Ont("Book")}
+	props := make([]rdf.Term, nProps)
+	for i := range props {
+		props[i] = rdf.Ont(fmt.Sprintf("p%d", i))
+	}
+	for e := 0; e < nEnt; e++ {
+		ent := rdf.Res(fmt.Sprintf("E%d", e))
+		batch = append(batch, rdf.Triple{S: ent, P: rdf.Type(), O: classes[e%len(classes)]})
+		for _, p := range props {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			var obj rdf.Term
+			switch rng.Intn(3) {
+			case 0:
+				obj = rdf.Res(fmt.Sprintf("E%d", rng.Intn(nEnt)))
+			case 1:
+				obj = rdf.NewInteger(int64(rng.Intn(40)))
+			default:
+				obj = rdf.NewDate(fmt.Sprintf("19%02d-01-%02d", rng.Intn(100), 1+rng.Intn(28)))
+			}
+			batch = append(batch, rdf.Triple{S: ent, P: p, O: obj})
+		}
+	}
+	st.AddAll(batch)
+	return st, props
+}
+
+// siblingQueries builds a candidate-fan-out-style workload: queries
+// that differ only in property or orientation plus a few shapes with
+// UNION/OPTIONAL/FILTER/ORDER BY/COUNT/ASK to cover every executor
+// path through the session.
+func siblingQueries(rng *rand.Rand, props []rdf.Term) []*Query {
+	var qs []*Query
+	x, p, c := rdf.NewVar("x"), rdf.NewVar("p"), rdf.NewVar("c")
+	class := []rdf.Term{rdf.Ont("Person"), rdf.Ont("City"), rdf.Ont("Book")}[rng.Intn(3)]
+	for _, prop := range props {
+		qs = append(qs,
+			&Query{Form: FormSelect, Distinct: true, Projection: []string{"x"}, Limit: -1,
+				Patterns: []rdf.Triple{
+					{S: p, P: rdf.Type(), O: class},
+					{S: p, P: prop, O: x},
+				}},
+			&Query{Form: FormSelect, Distinct: true, Projection: []string{"x"}, Limit: -1,
+				Patterns: []rdf.Triple{
+					{S: p, P: rdf.Type(), O: class},
+					{S: x, P: prop, O: p},
+				}},
+			&Query{Form: FormAsk, Limit: -1,
+				Patterns: []rdf.Triple{{S: rdf.Res("E1"), P: prop, O: x}}},
+			&Query{Form: FormSelect, Count: &CountSpec{Var: "x", Distinct: true, As: "x"},
+				Limit: -1,
+				Patterns: []rdf.Triple{
+					{S: p, P: rdf.Type(), O: class},
+					{S: p, P: prop, O: x},
+				}},
+		)
+	}
+	// Non-fan-out shapes over the same patterns.
+	qs = append(qs,
+		&Query{Form: FormSelect, Star: true, Limit: -1,
+			Patterns:  []rdf.Triple{{S: p, P: props[0], O: x}},
+			Optionals: [][]rdf.Triple{{{S: p, P: props[1%len(props)], O: c}}},
+		},
+		&Query{Form: FormSelect, Star: true, Limit: 7,
+			Unions: [][][]rdf.Triple{{
+				{{S: p, P: props[0], O: x}},
+				{{S: p, P: props[len(props)-1], O: x}},
+			}},
+		},
+		&Query{Form: FormSelect, Projection: []string{"p", "x"}, Limit: -1,
+			Patterns: []rdf.Triple{{S: p, P: props[0], O: x}},
+			OrderBy:  []OrderKey{{Expr: &VarExpr{Name: "x"}, Desc: true}},
+		},
+	)
+	return qs
+}
+
+// resultKey renders a Result fully — vars, row count, every term in
+// order — so equality means byte-identical observable output.
+func resultKey(r *Result) string {
+	if r.Form == FormAsk {
+		return fmt.Sprintf("ASK %v", r.Boolean)
+	}
+	key := fmt.Sprintf("%v/%d:", r.Vars, r.Len())
+	for row := 0; row < r.Len(); row++ {
+		for col := range r.Vars {
+			t, ok := r.TermAt(row, col)
+			if ok {
+				key += t.String()
+			}
+			key += "|"
+		}
+		key += ";"
+	}
+	return key
+}
+
+func TestSessionMatchesFreshExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		st, props := randStore(rng, 30+rng.Intn(120), 2+rng.Intn(5))
+		qs := siblingQueries(rng, props)
+		sess := NewSession(st)
+		for qi, q := range qs {
+			fresh, errF := Execute(st, q)
+			shared, errS := sess.Execute(q)
+			if (errF == nil) != (errS == nil) {
+				t.Fatalf("trial %d query %d: err mismatch %v vs %v", trial, qi, errF, errS)
+			}
+			if errF != nil {
+				continue
+			}
+			if got, want := resultKey(shared), resultKey(fresh); got != want {
+				t.Fatalf("trial %d query %d diverged:\nsession: %s\nfresh:   %s\nquery: %s",
+					trial, qi, got, want, q.String())
+			}
+		}
+	}
+}
+
+// TestSessionConcurrentExecution drives one session from many
+// goroutines at once — the fan-out pool's usage — and checks every
+// result against fresh execution. Under -race this pins the memo
+// locking.
+func TestSessionConcurrentExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	st, props := randStore(rng, 150, 4)
+	qs := siblingQueries(rng, props)
+	want := make([]string, len(qs))
+	for i, q := range qs {
+		r, err := Execute(st, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resultKey(r)
+	}
+	for round := 0; round < 3; round++ {
+		sess := NewSession(st)
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(qs))
+		for i, q := range qs {
+			wg.Add(1)
+			go func(i int, q *Query) {
+				defer wg.Done()
+				r, err := sess.Execute(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got := resultKey(r); got != want[i] {
+					errCh <- fmt.Errorf("query %d diverged under concurrency:\n%s\nvs\n%s", i, got, want[i])
+				}
+			}(i, q)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionPinsSnapshot: queries through a session keep reading the
+// snapshot pinned at session creation even after the store changes,
+// and a fresh session sees the new state.
+func TestSessionPinsSnapshot(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(1)})
+	sess := NewSession(st)
+	q := MustParse(`SELECT ?x WHERE { res:A dbont:p ?x . }`)
+	r1, err := sess.Execute(q)
+	if err != nil || r1.Len() != 1 {
+		t.Fatalf("r1=%v err=%v", r1, err)
+	}
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(2)})
+	r2, err := sess.Execute(q)
+	if err != nil || r2.Len() != 1 {
+		t.Fatalf("pinned session saw the write: len=%d err=%v", r2.Len(), err)
+	}
+	r3, err := NewSession(st).Execute(q)
+	if err != nil || r3.Len() != 2 {
+		t.Fatalf("fresh session missed the write: len=%d err=%v", r3.Len(), err)
+	}
+}
+
+// TestSessionScanBudget: a pattern too large for the memo budget still
+// executes correctly (direct scan, no memoization).
+func TestSessionScanBudget(t *testing.T) {
+	st := store.New()
+	var batch []rdf.Triple
+	for i := 0; i < 200; i++ {
+		batch = append(batch, rdf.Triple{
+			S: rdf.Res(fmt.Sprintf("E%d", i)), P: rdf.Ont("p"), O: rdf.NewInteger(int64(i))})
+	}
+	st.AddAll(batch)
+	sess := NewSession(st)
+	sess.budget = 10 // force the over-budget path for the 200-row scan
+	q := MustParse(`SELECT ?s ?x WHERE { ?s dbont:p ?x . }`)
+	r, err := sess.Execute(q)
+	if err != nil || r.Len() != 200 {
+		t.Fatalf("over-budget scan: len=%d err=%v", r.Len(), err)
+	}
+	if _, hit := sess.scans[[3]store.ID{0, mustID(t, st, rdf.Ont("p")), 0}]; !hit {
+		t.Fatal("over-budget pattern should be marked (nil) in the scan map")
+	}
+	// Second execution stays correct (and still unmemoized).
+	r2, err := sess.Execute(q)
+	if err != nil || r2.Len() != 200 {
+		t.Fatalf("second over-budget scan: len=%d err=%v", r2.Len(), err)
+	}
+}
+
+func mustID(t *testing.T, st *store.Store, term rdf.Term) store.ID {
+	t.Helper()
+	id, ok := st.Lookup(term)
+	if !ok {
+		t.Fatalf("%v not in dictionary", term)
+	}
+	return id
+}

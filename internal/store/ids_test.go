@@ -194,3 +194,66 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 		t.Fatalf("full scan after concurrent writes visited %d triples, Len = %d", got, want)
 	}
 }
+
+// TestPostingList: the sorted posting lists behind the executor's
+// merge joins must agree with ForEachMatchIDs for every two-bound
+// pattern shape, and patterns without exactly one wildcard must be
+// rejected.
+func TestPostingList(t *testing.T) {
+	st := New()
+	var batch []rdf.Triple
+	for i := 0; i < 40; i++ {
+		batch = append(batch, rdf.Triple{
+			S: rdf.Res(fmt.Sprintf("S%d", i%7)),
+			P: rdf.Ont(fmt.Sprintf("p%d", i%3)),
+			O: rdf.Res(fmt.Sprintf("O%d", i%5)),
+		})
+	}
+	st.AddAll(batch)
+	sn := st.Snapshot()
+
+	patterns := [][3]ID{}
+	sn.ForEachMatchIDs([3]ID{}, func(s, p, o ID) bool {
+		patterns = append(patterns,
+			[3]ID{0, p, o}, [3]ID{s, p, 0}, [3]ID{s, 0, o})
+		return true
+	})
+	for _, pat := range patterns {
+		lst, ok := sn.PostingList(pat)
+		if !ok {
+			t.Fatalf("PostingList(%v) rejected a one-wildcard pattern", pat)
+		}
+		var want []ID
+		sn.ForEachMatchIDs(pat, func(s, p, o ID) bool {
+			m := [3]ID{s, p, o}
+			for i := range pat {
+				if pat[i] == 0 {
+					want = append(want, m[i])
+				}
+			}
+			return true
+		})
+		if len(lst) != len(want) {
+			t.Fatalf("PostingList(%v) = %v, want %v", pat, lst, want)
+		}
+		for i := range lst {
+			if lst[i] != want[i] {
+				t.Fatalf("PostingList(%v)[%d] = %d, want %d (list %v)", pat, i, lst[i], want[i], want)
+			}
+			if i > 0 && lst[i-1] >= lst[i] {
+				t.Fatalf("PostingList(%v) not strictly sorted: %v", pat, lst)
+			}
+		}
+	}
+
+	for _, pat := range [][3]ID{{}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}} {
+		if _, ok := sn.PostingList(pat); ok {
+			t.Fatalf("PostingList(%v) accepted a non-one-wildcard pattern", pat)
+		}
+	}
+
+	// Absent keys yield an empty list, not a failure.
+	if lst, ok := sn.PostingList([3]ID{0, ID(sn.TermCount()), ID(sn.TermCount())}); !ok || len(lst) != 0 {
+		t.Fatalf("absent pattern: lst=%v ok=%v", lst, ok)
+	}
+}

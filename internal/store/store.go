@@ -94,6 +94,27 @@ type bucket struct {
 	// Writers carry the cache over when cloning a bucket and drop it
 	// when the key set changes.
 	keys atomic.Pointer[[]ID]
+	// total caches the sum of entry list lengths (the bucket's triple
+	// count), built lazily by readers with the same idempotent-atomic
+	// discipline as keys. 0 means unbuilt: published buckets are never
+	// empty (removeOne prunes them), and readers only ever see
+	// published, immutable buckets — batch-private clones start at 0
+	// and are invisible until commit.
+	total atomic.Int64
+}
+
+// totalIDs returns the cached triple count of the bucket, building it
+// on first use.
+func (b *bucket) totalIDs() int {
+	if n := b.total.Load(); n != 0 {
+		return int(n)
+	}
+	n := 0
+	for _, e := range b.entries {
+		n += len(e.ids)
+	}
+	b.total.Store(int64(n))
+	return n
 }
 
 // sortedKeys returns the cached sorted key slice, building it if needed.
@@ -452,11 +473,7 @@ func (sn *Snapshot) EstimateCardinalityIDs(pat [3]ID) int {
 		if bk == nil {
 			return 0
 		}
-		n := 0
-		for _, e := range bk.entries {
-			n += len(e.ids)
-		}
-		return n
+		return bk.totalIDs()
 	}
 	switch {
 	case sid != 0 && pid != 0 && oid != 0:
@@ -484,6 +501,32 @@ func (sn *Snapshot) EstimateCardinalityIDs(pat [3]ID) int {
 // CountIDs returns the number of triples matching the ID pattern.
 func (sn *Snapshot) CountIDs(pat [3]ID) int {
 	return sn.EstimateCardinalityIDs(pat)
+}
+
+// PostingList returns the sorted, unique ID list for a pattern with
+// exactly one wildcard position: the subjects of (?, p, o), the objects
+// of (s, p, ?) or the predicates of (s, ?, o). The second result is
+// false when the pattern does not have exactly one wildcard. The
+// returned slice aliases the snapshot's immutable index memory — it is
+// valid for as long as the snapshot is pinned, costs nothing to obtain,
+// and MUST NOT be modified (its capacity is clipped so an append cannot
+// clobber index state). A nil slice with ok=true means the pattern has
+// no matches. This is the surface the SPARQL executor's sorted-ID
+// merge/galloping intersections are built on.
+func (sn *Snapshot) PostingList(pat [3]ID) (ids []ID, ok bool) {
+	sid, pid, oid := pat[0], pat[1], pat[2]
+	var lst []ID
+	switch {
+	case sid == 0 && pid != 0 && oid != 0:
+		lst = sn.pos.list(pid, oid)
+	case sid != 0 && pid != 0 && oid == 0:
+		lst = sn.spo.list(sid, pid)
+	case sid != 0 && pid == 0 && oid != 0:
+		lst = sn.osp.list(oid, sid)
+	default:
+		return nil, false
+	}
+	return lst[:len(lst):len(lst)], true
 }
 
 // EstimateCardinality is EstimateCardinalityIDs on a term pattern.

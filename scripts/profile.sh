@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Captures CPU and allocation profiles of the §2.3 candidate fan-out —
+# the pipeline's dominant cost and the target of the per-question
+# execution sessions — and prints the top consumers with the benchmark
+# setup (multi-thousand-entity KB construction) filtered out, which
+# otherwise swamps the report.
+#
+# Usage:   scripts/profile.sh [outdir]
+# Env:     BENCH=BenchmarkExtractSequential   benchmark to profile
+#          BENCHTIME=1000x                    iterations
+#
+# Inspect interactively afterwards:
+#   go tool pprof <outdir>/cpu.prof
+#   go tool pprof -sample_index=alloc_objects <outdir>/mem.prof
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-/tmp/qa-profiles}"
+bench="${BENCH:-BenchmarkExtractSequential}"
+benchtime="${BENCHTIME:-1000x}"
+mkdir -p "$outdir"
+
+go test -run '^$' -bench "^${bench}\$" -benchtime "$benchtime" \
+  -cpuprofile "$outdir/cpu.prof" -memprofile "$outdir/mem.prof" .
+
+echo
+echo "=== CPU (focused on the extraction path) ==="
+go tool pprof -top -nodecount=25 -focus 'ExtractSessionCtx|ExecuteCtx' "$outdir/cpu.prof"
+echo
+echo "=== Allocations (focused on the extraction path) ==="
+go tool pprof -top -nodecount=15 -sample_index=alloc_objects \
+  -focus 'ExtractSessionCtx|ExecuteCtx' "$outdir/mem.prof"
+echo
+echo "profiles written to $outdir"

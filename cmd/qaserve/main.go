@@ -1,15 +1,22 @@
 // Command qaserve serves the question answering pipeline over
 // HTTP/JSON: POST /v1/answer and /v1/answer/batch answer questions,
-// GET /healthz reports liveness and KB snapshot state, GET /metrics
-// exports Prometheus-style counters and per-stage latency histograms
-// built from each request's pipeline trace.
+// POST /v1/update applies SPARQL INSERT DATA / DELETE DATA batches
+// (when started with -data-dir), GET /healthz reports liveness,
+// GET /readyz reports readiness, and GET /metrics exports
+// Prometheus-style counters and per-stage latency histograms built
+// from each request's pipeline trace.
 //
 // Usage:
 //
 //	qaserve [-addr :8080] [-timeout 5s] [-max-inflight 64] [-cache 1024]
-//	        [-parallel N] [-kb file.nt] [-drain 15s] [-extensions]
+//	        [-parallel N] [-kb file.nt] [-data-dir dir] [-update-token T]
+//	        [-drain 15s] [-extensions]
 //
-// See cmd/qaserve/README.md for the endpoint contracts.
+// The listener comes up immediately and answers 503 (with /healthz
+// alive) while the pipeline warms up; with -data-dir the durable state
+// is recovered from the newest valid snapshot segment plus the
+// write-ahead log tail before the first request is served. See
+// cmd/qaserve/README.md for the endpoint contracts.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/qaserve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -35,27 +43,79 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "max questions per /v1/answer/batch request")
 	batchParallel := flag.Int("batch-parallel", 0, "workers a batch request fans its questions across (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", 1024, "answer cache entries, keyed on normalized question text (0 = disabled)")
+	negTTL := flag.Duration("cache-negative-ttl", 0, "expire cached non-answers after this long (0 = keep until the KB changes)")
 	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers per question (0 = GOMAXPROCS, 1 = sequential)")
 	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
+	dataDir := flag.String("data-dir", "", "durable data directory; enables /v1/update (WAL + snapshot segments, crash recovery on start)")
+	updateToken := flag.String("update-token", "", "bearer token required by /v1/update (empty = also read QASERVE_UPDATE_TOKEN; both empty = open)")
+	updateTimeout := flag.Duration("update-timeout", 10*time.Second, "per-update commit timeout (0 = use -timeout)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	extensions := flag.Bool("extensions", false, "enable the future-work boolean/aggregation/superlative extensions")
 	flag.Parse()
 
+	// Listen before the (slow) pipeline build: the gate answers
+	// /healthz 200 and everything else 503 until the handover, so
+	// orchestrators can distinguish "booting" from "dead".
+	gate := qaserve.NewGate()
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           gate,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "qaserve: listening on %s (warming up)\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "qaserve:", err)
+		os.Exit(1)
+	}
+
 	cfg := core.DefaultConfig()
 	cfg.Parallelism = *parallel
 	cfg.CacheSize = *cacheSize
+	cfg.NegativeTTL = *negTTL
 	if *extensions {
 		cfg.EnableBoolean = true
 		cfg.EnableAggregation = true
 		cfg.EnableSuperlatives = true
 	}
-	if *kbPath != "" {
-		loaded, err := kb.LoadFile(*kbPath)
+
+	// Source the KB: recovered durable state beats -kb beats built-in.
+	var rec *wal.Recovery
+	if *dataDir != "" {
+		var err error
+		rec, err = wal.Recover(*dataDir, wal.Options{})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qaserve:", err)
-			os.Exit(1)
+			fail(fmt.Errorf("recovering %s: %w", *dataDir, err))
+		}
+	}
+	switch {
+	case rec != nil && rec.Exists:
+		if *kbPath != "" {
+			fmt.Fprintf(os.Stderr, "qaserve: %s holds durable state; ignoring -kb %s\n", *dataDir, *kbPath)
+		}
+		loaded, err := kb.FromTriples(rec.Triples)
+		if err != nil {
+			fail(fmt.Errorf("rebuilding KB from %s: %w", *dataDir, err))
 		}
 		cfg.KB = loaded
+		fmt.Fprintf(os.Stderr, "qaserve: recovered %d triples at generation %d (segment %d + %d log records)\n",
+			len(rec.Triples), rec.Gen, rec.SegmentGen, rec.Records)
+	case *kbPath != "":
+		loaded, err := kb.LoadFile(*kbPath)
+		if err != nil {
+			fail(err)
+		}
+		cfg.KB = loaded
+	case rec != nil:
+		// Fresh data dir, no -kb: bootstrap a private copy of the
+		// built-in KB (the shared default must never be mutated).
+		cfg.KB = kb.Build(kb.DefaultConfig())
 	}
 
 	fmt.Fprintf(os.Stderr, "qaserve: building pipeline (mining patterns)...\n")
@@ -64,44 +124,67 @@ func main() {
 	fmt.Fprintf(os.Stderr, "qaserve: pipeline ready in %v (%d triples)\n",
 		time.Since(start).Round(time.Millisecond), sys.KB.Store.Len())
 
-	srv := qaserve.New(qaserve.Config{
+	// Attach durability: from here the manager is the store's only
+	// writer, every /v1/update batch is fsynced to the WAL before it is
+	// applied, and the log auto-compacts into snapshot segments.
+	var manager *wal.Manager
+	if rec != nil {
+		var err error
+		manager, err = rec.Open(sys.KB.Store)
+		if err != nil {
+			fail(fmt.Errorf("opening WAL in %s: %w", *dataDir, err))
+		}
+	}
+
+	token := *updateToken
+	if token == "" {
+		token = os.Getenv("QASERVE_UPDATE_TOKEN")
+	}
+	scfg := qaserve.Config{
 		Sys:              sys,
 		RequestTimeout:   *timeout,
 		MaxInFlight:      *maxInflight,
 		MaxBatch:         *maxBatch,
 		BatchParallelism: *batchParallel,
-	})
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
+		UpdateToken:      token,
+		UpdateTimeout:    *updateTimeout,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "qaserve: listening on %s\n", *addr)
+	if manager != nil {
+		scfg.Updater = manager
+	}
+	srv := qaserve.New(scfg)
+	gate.SetReady(srv.Handler())
+	fmt.Fprintf(os.Stderr, "qaserve: ready\n")
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, "qaserve:", err)
-		os.Exit(1)
+		fail(err)
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests.
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// close the WAL (final fsync + checkpoint segment) once no update
+	// can still be running.
 	fmt.Fprintf(os.Stderr, "qaserve: shutting down (draining up to %v)...\n", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	code := 0
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "qaserve: drain incomplete:", err)
-		os.Exit(1)
+		code = 1
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "qaserve:", err)
-		os.Exit(1)
+		code = 1
 	}
-	fmt.Fprintln(os.Stderr, "qaserve: drained, bye")
+	if manager != nil {
+		if err := manager.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "qaserve: closing WAL:", err)
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Fprintln(os.Stderr, "qaserve: drained, bye")
+	}
+	os.Exit(code)
 }

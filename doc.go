@@ -84,6 +84,25 @@
 // timeouts, an in-flight limit and graceful shutdown;
 // internal/qaserve holds the handlers and metrics.
 //
+// The serving layer also accepts live mutation, made crash-safe by a
+// write-ahead log. POST /v1/update parses SPARQL UPDATE (INSERT DATA /
+// DELETE DATA, sparql.ParseUpdate) and commits all operations of a
+// request as one atomic store batch — readers and the generation-
+// stamped cache see the whole batch or none of it. When qaserve runs
+// with -data-dir, a wal.Manager owns the store's write path: each
+// batch is appended to a length-prefixed, CRC-checksummed log and
+// fsynced before it is applied (internal/wal/FORMAT.md documents the
+// on-disk format), and the log periodically compacts into immutable
+// snapshot segment files. On restart the server rebuilds the KB from
+// the newest valid segment plus the replayed log tail — a torn or
+// corrupt trailing record is treated as a clean end of log, so
+// recovery always lands on a prefix of the committed batches
+// (internal/wal/faultfs injects torn writes, short writes, fsync
+// failures and bit flips to prove it). /healthz stays a pure liveness
+// probe; /readyz answers 503 behind a boot gate until recovery and
+// pipeline construction finish, and graceful shutdown drains requests
+// before the final WAL fsync and checkpoint.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured numbers, and bench_test.go for the per-table/figure
 // regeneration harness.

@@ -5,6 +5,8 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -13,8 +15,10 @@ import (
 	"repro/internal/kb"
 	"repro/internal/ntriples"
 	"repro/internal/qald"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // TestKBDumpLoadRoundTrip: kbgen-style dump → N-Triples parse → fresh
@@ -199,5 +203,85 @@ func TestConcurrentAnswering(t *testing.T) {
 	}
 	for w := 0; w < 8; w++ {
 		<-done
+	}
+}
+
+// TestCrashRecoveryPreservesQALD is the whole-system durability
+// acceptance test: a WAL-backed system takes live mutations that net
+// out to the original KB (height swapped away and back, a foreign
+// fact inserted and deleted), crashes without closing the log, and is
+// rebuilt from the recovered triples — after which the QALD evaluation
+// must reproduce the frozen Table 2 numbers (P/R/F1 0.83/0.33/0.47)
+// exactly, question by question.
+func TestCrashRecoveryPreservesQALD(t *testing.T) {
+	k := kb.Build(kb.DefaultConfig())
+	s1 := core.New(core.Config{KB: k})
+	before, err := qald.Evaluate(s1, qald.Questions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	rec, err := wal.Recover(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rec.Open(k.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jordan := rdf.Triple{S: rdf.Res("Michael_Jordan"), P: rdf.Ont("height"),
+		O: rdf.NewTypedLiteral("1.98", rdf.XSDDouble)}
+	tall := jordan
+	tall.O = rdf.NewTypedLiteral("2.22", rdf.XSDDouble)
+	foreign := rdf.Triple{S: rdf.NewIRI("http://x/e"), P: rdf.NewIRI("http://x/p"),
+		O: rdf.NewIRI("http://x/o")}
+	for _, ops := range [][]store.BatchOp{
+		{{Delete: true, Triples: []rdf.Triple{jordan}}, {Triples: []rdf.Triple{tall}}},
+		{{Triples: []rdf.Triple{foreign}}},
+		{{Delete: true, Triples: []rdf.Triple{tall}}, {Triples: []rdf.Triple{jordan}}},
+		{{Delete: true, Triples: []rdf.Triple{foreign}}},
+	} {
+		if _, err := m.Apply(context.Background(), ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: the manager is abandoned without Close, so the four
+	// batches live only in the fsynced log tail, not in a segment.
+
+	rec2, err := wal.Recover(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec2.Exists || rec2.Records != 4 {
+		t.Fatalf("recovery = %+v, want 4 replayed records", rec2)
+	}
+	k2, err := kb.FromTriples(rec2.Triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Store.Len() != k.Store.Len() {
+		t.Fatalf("recovered %d triples, want %d", k2.Store.Len(), k.Store.Len())
+	}
+	s2 := core.New(core.Config{KB: k2})
+	m2, err := rec2.Open(k2.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	after, err := qald.Evaluate(s2, qald.Questions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, r, f := fmt.Sprintf("%.2f", after.Precision), fmt.Sprintf("%.2f", after.Recall),
+		fmt.Sprintf("%.2f", after.F1); p != "0.83" || r != "0.33" || f != "0.47" {
+		t.Errorf("post-recovery P/R/F1 = %s/%s/%s, want 0.83/0.33/0.47", p, r, f)
+	}
+	if after.Precision != before.Precision || after.Recall != before.Recall ||
+		after.F1 != before.F1 || after.Correct != before.Correct ||
+		after.Answered != before.Answered {
+		t.Errorf("evaluation drifted across crash/recovery: before %+v after %+v",
+			before, after)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/answer"
 	"repro/internal/kb"
@@ -91,6 +92,15 @@ type Config struct {
 	// by any KB snapshot generation change. 0 disables caching (the
 	// paper-faithful default).
 	CacheSize int
+
+	// NegativeTTL additionally expires cached *negative* results
+	// (anything but StatusAnswered) this long after they were computed,
+	// even when the store generation never moves — a live-mutated KB may
+	// start answering a question without republishing (e.g. after an
+	// external index refresh), and a failure should not be pinned
+	// forever. 0 (the default) keeps negatives until generation change
+	// or LRU eviction, like positives.
+	NegativeTTL time.Duration
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -143,6 +153,7 @@ type System struct {
 	// only when Config.CacheSize > 0.
 	stages []pipeline.Stage[*Result]
 	cache  *qacache.Cache[*Result]
+	negTTL time.Duration
 }
 
 var (
@@ -183,6 +194,7 @@ func New(cfg Config) *System {
 
 	if cfg.CacheSize > 0 {
 		s.cache = qacache.New[*Result](cfg.CacheSize)
+		s.negTTL = cfg.NegativeTTL
 		s.stages = append(s.stages, cacheStage{s})
 	}
 	s.stages = append(s.stages, triplexStage{s}, propmapStage{s}, answerStage{s})
@@ -437,7 +449,12 @@ func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
 		// with the generation the request executed against.
 		cached := *res
 		cached.Trace = nil
-		s.cache.Put(qacache.Normalize(res.Question), res.snapGen, &cached)
+		key := qacache.Normalize(res.Question)
+		if s.negTTL > 0 && res.Status != StatusAnswered {
+			s.cache.PutExpiring(key, res.snapGen, &cached, s.negTTL)
+		} else {
+			s.cache.Put(key, res.snapGen, &cached)
+		}
 	}
 	return res
 }

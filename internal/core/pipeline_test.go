@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/kb"
 	"repro/internal/patterns"
@@ -226,5 +227,34 @@ func TestAnswerCacheObservesRemoveGenerationBump(t *testing.T) {
 func TestCanceledStatusString(t *testing.T) {
 	if StatusCanceled.String() != "canceled" {
 		t.Errorf("StatusCanceled = %q", StatusCanceled.String())
+	}
+}
+
+// TestNegativeTTLExpiresFailures: with NegativeTTL configured, cached
+// failure outcomes are recomputed once the TTL passes even though the
+// store generation never moved; positive answers are unaffected.
+func TestNegativeTTLExpiresFailures(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KB = kb.Build(kb.DefaultConfig())
+	cfg.CacheSize = 64
+	// A nanosecond TTL is expired by the time any later lookup runs, so
+	// the test needs no sleeping and no injected clock.
+	cfg.NegativeTTL = time.Nanosecond
+	s := New(cfg)
+
+	neg := s.Answer("gibberish blob")
+	if neg.Answered() || neg.CacheHit() {
+		t.Fatalf("first failure ask: %v / hit=%v", neg.Status, neg.CacheHit())
+	}
+	if s.Answer("gibberish blob").CacheHit() {
+		t.Fatal("negative result served past its TTL")
+	}
+
+	const q = "Where did Abraham Lincoln die?"
+	if first := s.Answer(q); !first.Answered() {
+		t.Fatalf("positive ask failed: %v", first.Status)
+	}
+	if !s.Answer(q).CacheHit() {
+		t.Fatal("positive answer not cached while NegativeTTL is set")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // nShards is the shard count; a power of two so hashing can mask.
@@ -28,6 +29,7 @@ type Cache[V any] struct {
 	shards [nShards]shard[V]
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	now    func() time.Time
 }
 
 type shard[V any] struct {
@@ -38,9 +40,10 @@ type shard[V any] struct {
 }
 
 type entry[V any] struct {
-	key string
-	gen uint64
-	val V
+	key     string
+	gen     uint64
+	val     V
+	expires time.Time // zero = never
 }
 
 // New builds a cache holding at most capacity entries overall
@@ -48,7 +51,7 @@ type entry[V any] struct {
 // entry). Capacity <= 0 yields a cache of nShards entries minimum —
 // callers gate "disabled" above this package.
 func New[V any](capacity int) *Cache[V] {
-	c := &Cache[V]{}
+	c := &Cache[V]{now: time.Now}
 	per := capacity / nShards
 	if per < 1 {
 		per = 1
@@ -56,6 +59,14 @@ func New[V any](capacity int) *Cache[V] {
 	for i := range c.shards {
 		c.shards[i] = shard[V]{cap: per, ll: list.New(), m: make(map[string]*list.Element)}
 	}
+	return c
+}
+
+// WithClock injects the time source expiring entries are checked
+// against (tests advance it manually). Call before the cache is shared;
+// it returns c for chaining.
+func (c *Cache[V]) WithClock(now func() time.Time) *Cache[V] {
+	c.now = now
 	return c
 }
 
@@ -87,6 +98,15 @@ func (c *Cache[V]) Get(key string, gen uint64) (V, bool) {
 		return zero, false
 	}
 	e := el.Value.(*entry[V])
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		// Expired (a TTL-stamped negative result): evict and miss so the
+		// pipeline recomputes it even at an unchanged generation.
+		sh.ll.Remove(el)
+		delete(sh.m, key)
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
 	if e.gen != gen {
 		// Evict only entries *older* than the requester's snapshot: a
 		// newer entry means this requester pinned a pre-write snapshot
@@ -107,8 +127,25 @@ func (c *Cache[V]) Get(key string, gen uint64) (V, bool) {
 }
 
 // Put stores the value for key at generation gen, evicting the shard's
-// least recently used entry when over capacity.
+// least recently used entry when over capacity. The entry never
+// expires by time (generation staleness still evicts it).
 func (c *Cache[V]) Put(key string, gen uint64, v V) {
+	c.put(key, gen, v, time.Time{})
+}
+
+// PutExpiring stores the value like Put but additionally expires it ttl
+// from now — the knob for negative results, which callers may want
+// recomputed eventually even when the store generation never moves. A
+// ttl <= 0 behaves like Put.
+func (c *Cache[V]) PutExpiring(key string, gen uint64, v V, ttl time.Duration) {
+	var expires time.Time
+	if ttl > 0 {
+		expires = c.now().Add(ttl)
+	}
+	c.put(key, gen, v, expires)
+}
+
+func (c *Cache[V]) put(key string, gen uint64, v V, expires time.Time) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -117,11 +154,11 @@ func (c *Cache[V]) Put(key string, gen uint64, v V) {
 		if gen < e.gen {
 			return // never clobber a fresher entry with a stale result
 		}
-		e.gen, e.val = gen, v
+		e.gen, e.val, e.expires = gen, v, expires
 		sh.ll.MoveToFront(el)
 		return
 	}
-	sh.m[key] = sh.ll.PushFront(&entry[V]{key: key, gen: gen, val: v})
+	sh.m[key] = sh.ll.PushFront(&entry[V]{key: key, gen: gen, val: v, expires: expires})
 	for sh.ll.Len() > sh.cap {
 		oldest := sh.ll.Back()
 		sh.ll.Remove(oldest)

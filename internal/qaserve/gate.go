@@ -1,0 +1,40 @@
+package qaserve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is the boot-time readiness handler: cmd/qaserve starts listening
+// on it immediately, so liveness probes (/healthz) answer while the KB
+// loads and the WAL recovers, and /readyz — plus every real route —
+// answers 503 until SetReady hands over the assembled Server handler.
+// Once ready, every request (including /readyz, which the Server then
+// answers 200) is delegated; the swap is atomic and never un-done.
+type Gate struct {
+	next atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a Gate in the not-ready state.
+func NewGate() *Gate { return &Gate{} }
+
+// SetReady atomically hands all traffic over to h.
+func (g *Gate) SetReady(h http.Handler) { g.next.Store(&h) }
+
+// Ready reports whether SetReady has been called.
+func (g *Gate) Ready() bool { return g.next.Load() != nil }
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hp := g.next.Load(); hp != nil {
+		(*hp).ServeHTTP(w, r)
+		return
+	}
+	switch r.URL.Path {
+	case "/healthz":
+		// Alive, not ready: the process is up and loading.
+		writeJSON(w, http.StatusOK, map[string]any{"status": "starting"})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	}
+}

@@ -51,6 +51,11 @@ type metrics struct {
 	requestsRejected atomic.Uint64
 	requestsTimeout  atomic.Uint64
 
+	updatesOK     atomic.Uint64
+	updatesBad    atomic.Uint64
+	updatesDenied atomic.Uint64
+	updatesFailed atomic.Uint64
+
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 
@@ -86,6 +91,13 @@ func (m *metrics) render(sb *strings.Builder) {
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"bad_request\"} %d\n", m.requestsBad.Load())
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"rejected\"} %d\n", m.requestsRejected.Load())
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"timeout\"} %d\n", m.requestsTimeout.Load())
+
+	fmt.Fprintf(sb, "# HELP qaserve_updates_total SPARQL UPDATE requests by outcome.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_updates_total counter\n")
+	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"ok\"} %d\n", m.updatesOK.Load())
+	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"bad_request\"} %d\n", m.updatesBad.Load())
+	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"denied\"} %d\n", m.updatesDenied.Load())
+	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"error\"} %d\n", m.updatesFailed.Load())
 
 	fmt.Fprintf(sb, "# HELP qaserve_cache_requests_total Answer cache lookups by outcome.\n")
 	fmt.Fprintf(sb, "# TYPE qaserve_cache_requests_total counter\n")

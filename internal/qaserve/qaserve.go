@@ -6,10 +6,19 @@
 //	POST /v1/answer/batch  {"questions": ["...", …]}  → {"results": [AnswerResponse, …]}
 //	                       (questions fan out across Config.BatchParallelism
 //	                       workers; results keep request order)
+//	POST /v1/update        SPARQL UPDATE (INSERT DATA / DELETE DATA) →
+//	                       {"generation", "added", "removed", "ops"};
+//	                       the whole request commits as one durable,
+//	                       atomic batch through Config.Updater, gated by
+//	                       Config.UpdateToken (Bearer auth)
 //	GET  /healthz          liveness + KB snapshot info
+//	GET  /readyz           readiness; during boot the Gate answers 503
+//	                       here until the KB is loaded and WAL recovery
+//	                       has finished
 //	GET  /metrics          Prometheus text format: request counters,
-//	                       cache hit/miss, per-stage latency histograms
-//	                       built from each request's pipeline Trace
+//	                       update counters, cache hit/miss, per-stage
+//	                       latency histograms built from each request's
+//	                       pipeline Trace
 //
 // Every request runs under a context derived from the HTTP request's:
 // the configured per-request timeout is attached, so a deadline
@@ -48,6 +57,16 @@ type Config struct {
 	// MaxBatch bounds the questions accepted by /v1/answer/batch
 	// (default 64).
 	MaxBatch int
+	// Updater commits SPARQL UPDATE batches durably (typically the WAL
+	// manager); nil leaves the server read-only and /v1/update answers
+	// 501.
+	Updater Updater
+	// UpdateToken, when non-empty, gates /v1/update behind
+	// "Authorization: Bearer <token>". Read endpoints are never gated.
+	UpdateToken string
+	// UpdateTimeout bounds one /v1/update commit (0 falls back to
+	// RequestTimeout).
+	UpdateTimeout time.Duration
 	// BatchParallelism bounds the worker pool a /v1/answer/batch
 	// request fans its questions across: 0 uses GOMAXPROCS, 1 (or any
 	// negative value) answers sequentially. Every worker beyond the
@@ -62,18 +81,22 @@ type Config struct {
 
 // Server is the HTTP serving layer. Build with New, mount Handler.
 type Server struct {
-	sys          *core.System
-	timeout      time.Duration
-	maxBatch     int
-	batchWorkers int
-	sem          chan struct{} // nil = unlimited
-	m            *metrics
+	sys           *core.System
+	timeout       time.Duration
+	maxBatch      int
+	batchWorkers  int
+	updater       Updater
+	updateToken   string
+	updateTimeout time.Duration
+	sem           chan struct{} // nil = unlimited
+	m             *metrics
 }
 
 // New builds a Server over the assembled pipeline.
 func New(cfg Config) *Server {
 	s := &Server{sys: cfg.Sys, timeout: cfg.RequestTimeout, maxBatch: cfg.MaxBatch,
-		batchWorkers: cfg.BatchParallelism, m: newMetrics()}
+		batchWorkers: cfg.BatchParallelism, updater: cfg.Updater,
+		updateToken: cfg.UpdateToken, updateTimeout: cfg.UpdateTimeout, m: newMetrics()}
 	if s.maxBatch <= 0 {
 		s.maxBatch = 64
 	}
@@ -94,7 +117,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	mux.HandleFunc("POST /v1/answer/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -362,6 +387,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is the liveness probe: once the Server handles traffic
+// it always answers 200 (readiness is /readyz; during boot the Gate
+// answers both). The snapshot info rides along for operators.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := s.sys.KB.Store.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -369,6 +397,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"triples":    sn.Len(),
 		"generation": sn.Gen(),
 		"inflight":   s.m.inflight.Load(),
+	})
+}
+
+// handleReadyz is the readiness probe: reaching the Server at all means
+// the KB is loaded and WAL recovery finished (the Gate answered 503
+// until then), so it reports ready unconditionally.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	sn := s.sys.KB.Store.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"triples":    sn.Len(),
+		"generation": sn.Gen(),
+		"writable":   s.updater != nil,
 	})
 }
 

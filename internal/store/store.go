@@ -856,6 +856,79 @@ func (s *Store) AddAll(ts []rdf.Triple) int {
 	return n
 }
 
+// BatchOp is one ordered operation inside an atomic write batch: an
+// insertion or a deletion of a list of ground triples. ApplyBatch and
+// the write-ahead-log replay path (internal/wal) both consume this
+// type, so a live SPARQL UPDATE request and its crash-recovery replay
+// apply byte-identical batches.
+type BatchOp struct {
+	// Delete selects removal; false inserts.
+	Delete bool
+	// Triples are the ground triples the operation covers. Triples with
+	// variable or zero terms are skipped (store data must be ground).
+	Triples []rdf.Triple
+}
+
+// ApplyBatch applies the operations in order as one atomic write batch:
+// the new snapshot is published once, after every operation has been
+// indexed, so readers observe either none or all of the batch — a
+// mixed DELETE DATA + INSERT DATA update can never be seen half
+// applied. Later operations see the effects of earlier ones (an insert
+// followed by a delete of the same triple nets to absent). It returns
+// the number of triples actually added and removed.
+func (s *Store) ApplyBatch(ops []BatchOp) (added, removed int) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	w := s.begin()
+	for _, op := range ops {
+		if op.Delete {
+			for _, t := range op.Triples {
+				ids, ok := w.next.patternIDs(t)
+				if !ok || ids[0] == 0 || ids[1] == 0 || ids[2] == 0 {
+					continue // unknown term or non-ground: nothing to remove
+				}
+				if w.removeIDs(ids[0], ids[1], ids[2]) {
+					removed++
+				}
+			}
+		} else {
+			for _, t := range op.Triples {
+				if w.addTriple(t) {
+					added++
+				}
+			}
+		}
+	}
+	s.commit(w)
+	return added, removed
+}
+
+// SetGen aligns the store's generation counter with an externally
+// persisted value: the durability layer (internal/wal) calls it after
+// recovery so the generation numbering a restarted server reports is
+// continuous with the one clients observed before the crash, and after
+// each logged batch so the published generation always equals the
+// generation recorded in the log. If gen is ahead of the published
+// snapshot's generation, the current contents are republished stamped
+// with gen (the "equal generations imply identical contents" property
+// is preserved — gen has never been published before). Backward moves
+// never republish: a gen at or below the published generation only
+// clamps the internal counter so the next write publishes above every
+// generation readers may have seen.
+func (s *Store) SetGen(gen uint64) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.snap.Load()
+	if gen <= cur.gen {
+		s.gen = cur.gen
+		return
+	}
+	s.gen = gen
+	sn := *cur
+	sn.gen = gen
+	s.snap.Store(&sn)
+}
+
 // Remove deletes one ground triple, reporting whether it was present.
 // Like every write it publishes a fresh snapshot (with a bumped
 // generation) only when it actually changed something, so generation

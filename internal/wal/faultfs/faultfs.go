@@ -1,0 +1,360 @@
+// Package faultfs is an in-memory, fault-injectable implementation of
+// the WAL's file layer (wal.FS) — the harness the crash-recovery tests
+// drive torn writes, short writes, fsync failures and bit-flip
+// corruption through.
+//
+// The model separates each file's *current* content (what reads and
+// the running process see) from its *durable* content (what survives a
+// crash): Write extends only the current content, Sync promotes it to
+// durable, and Crash produces a fresh FS holding the durable image —
+// optionally with a random prefix of each file's unsynced tail
+// retained, which is exactly a torn write. Directory operations
+// (rename, remove, mkdir) are modelled as immediately durable; the
+// production code fsyncs directories anyway, and modelling entry
+// tearing would not add coverage for the record-level guarantees under
+// test.
+//
+// Fault injections are one-shot countdown rules: the n-th write (or
+// sync) to a file whose name contains a substring fails, a failing
+// write optionally persisting a short prefix first. FlipBit corrupts a
+// durable byte in place, simulating media corruption.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrInjected is the error returned by injected write/sync failures.
+var ErrInjected = errors.New("faultfs: injected failure")
+
+// FS is the in-memory fault-injectable file layer. Safe for concurrent
+// use. The zero value is not usable; call New.
+type FS struct {
+	mu         sync.Mutex
+	files      map[string]*memFile
+	dirs       map[string]bool
+	writeRules []*rule
+	syncRules  []*rule
+	truncRules []*rule
+}
+
+type rule struct {
+	match     string
+	countdown int // fires when it reaches zero
+	short     int // bytes persisted before the failure (writes only)
+}
+
+type memFile struct {
+	data    []byte // current content
+	durable int    // prefix of data that survives a crash
+}
+
+// New returns an empty filesystem containing just the root.
+func New() *FS {
+	return &FS{files: map[string]*memFile{}, dirs: map[string]bool{".": true, "/": true}}
+}
+
+// FailWrite makes the nth (1-based) future Write to a file whose name
+// contains match fail after persisting short bytes of the attempted
+// write (0 = nothing: a pure error; >0 = a short write).
+func (f *FS) FailWrite(match string, nth, short int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeRules = append(f.writeRules, &rule{match: match, countdown: nth, short: short})
+}
+
+// FailSync makes the nth (1-based) future Sync of a file whose name
+// contains match fail. The data reached the file but not the disk: the
+// bytes written since the last successful sync stay non-durable.
+func (f *FS) FailSync(match string, nth int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncRules = append(f.syncRules, &rule{match: match, countdown: nth})
+}
+
+// FailTruncate makes the nth (1-based) future Truncate of a file whose
+// name contains match fail, leaving the file as-is. Combined with a
+// failing write this models a crash mid-append: the partial record
+// stays in the file because the rollback never ran.
+func (f *FS) FailTruncate(match string, nth int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.truncRules = append(f.truncRules, &rule{match: match, countdown: nth})
+}
+
+func fire(rules []*rule, name string) *rule {
+	for _, r := range rules {
+		if strings.Contains(name, r.match) {
+			r.countdown--
+			if r.countdown == 0 {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// Crash returns a new FS holding the durable image: every file keeps
+// its synced prefix, plus — when rng is non-nil — a random prefix of
+// its unsynced tail (a torn write; rng keeps the scenario
+// reproducible). Pending fault rules do not carry over. The original
+// FS remains usable (it models the pre-crash machine).
+func (f *FS) Crash(rng *rand.Rand) *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nf := New()
+	for d := range f.dirs {
+		nf.dirs[d] = true
+	}
+	for name, mf := range f.files {
+		keep := mf.durable
+		if rng != nil && len(mf.data) > mf.durable {
+			keep += rng.Intn(len(mf.data) - mf.durable + 1)
+		}
+		nf.files[name] = &memFile{data: append([]byte(nil), mf.data[:keep]...), durable: keep}
+	}
+	return nf
+}
+
+// FlipBit flips one bit of the durable content of path, simulating
+// media corruption. It reports whether the offset was in range.
+func (f *FS) FlipBit(path string, byteOff int64, bit uint) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[clean(path)]
+	if !ok || byteOff < 0 || byteOff >= int64(len(mf.data)) {
+		return false
+	}
+	mf.data[byteOff] ^= 1 << (bit % 8)
+	return true
+}
+
+// FileLen returns the current length of path (-1 when absent).
+func (f *FS) FileLen(path string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf, ok := f.files[clean(path)]
+	if !ok {
+		return -1
+	}
+	return int64(len(mf.data))
+}
+
+func clean(name string) string { return filepath.Clean(name) }
+
+// --- wal.FS implementation ---
+
+// OpenFile opens a file (or a directory, for Sync-only handles).
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = clean(name)
+	if f.dirs[name] {
+		return &handle{fs: f, name: name, dir: true}, nil
+	}
+	mf, ok := f.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		mf = &memFile{}
+		f.files[name] = mf
+	} else if flag&os.O_TRUNC != 0 {
+		mf.data = nil
+		mf.durable = 0
+	}
+	return &handle{fs: f, name: name, f: mf}, nil
+}
+
+// Rename atomically renames a file (immediately durable, like a
+// synced directory entry).
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldname, newname = clean(oldname), clean(newname)
+	mf, ok := f.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	f.files[newname] = mf
+	delete(f.files, oldname)
+	return nil
+}
+
+// Remove deletes a file.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = clean(name)
+	if _, ok := f.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(f.files, name)
+	return nil
+}
+
+// ReadDir lists the names directly under a directory, sorted.
+func (f *FS) ReadDir(name string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = clean(name)
+	if !f.dirs[name] {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if filepath.Dir(p) == name {
+			base := filepath.Base(p)
+			if !seen[base] {
+				seen[base] = true
+				out = append(out, base)
+			}
+		}
+	}
+	for p := range f.files {
+		add(p)
+	}
+	for p := range f.dirs {
+		if p != name {
+			add(p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// MkdirAll creates a directory chain.
+func (f *FS) MkdirAll(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for p := clean(name); p != "." && p != "/" && !f.dirs[p]; p = filepath.Dir(p) {
+		f.dirs[p] = true
+	}
+	return nil
+}
+
+// handle is one open file or directory.
+type handle struct {
+	fs   *FS
+	name string
+	f    *memFile
+	pos  int64
+	dir  bool
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dir {
+		return 0, fmt.Errorf("faultfs: read on directory %s", h.name)
+	}
+	if h.pos >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dir {
+		return 0, fmt.Errorf("faultfs: write on directory %s", h.name)
+	}
+	short := -1
+	if r := fire(h.fs.writeRules, h.name); r != nil {
+		short = r.short
+		if short > len(p) {
+			short = len(p)
+		}
+	}
+	writeAt := func(b []byte) {
+		end := h.pos + int64(len(b))
+		if end > int64(len(h.f.data)) {
+			nd := make([]byte, end)
+			copy(nd, h.f.data)
+			h.f.data = nd
+		}
+		// An unsynced overwrite of previously durable bytes withdraws
+		// their durability (conservative: the torn region starts at the
+		// overwrite).
+		if h.pos < int64(h.f.durable) {
+			h.f.durable = int(h.pos)
+		}
+		copy(h.f.data[h.pos:], b)
+		h.pos = end
+	}
+	if short >= 0 {
+		writeAt(p[:short])
+		return short, fmt.Errorf("%w: write %s", ErrInjected, h.name)
+	}
+	writeAt(p)
+	return len(p), nil
+}
+
+func (h *handle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.data)) + offset
+	}
+	if h.pos < 0 {
+		h.pos = 0
+	}
+	return h.pos, nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dir {
+		return nil // directory entries are modelled as durable
+	}
+	if fire(h.fs.syncRules, h.name) != nil {
+		return fmt.Errorf("%w: sync %s", ErrInjected, h.name)
+	}
+	h.f.durable = len(h.f.data)
+	return nil
+}
+
+func (h *handle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dir {
+		return fmt.Errorf("faultfs: truncate on directory %s", h.name)
+	}
+	if fire(h.fs.truncRules, h.name) != nil {
+		return fmt.Errorf("%w: truncate %s", ErrInjected, h.name)
+	}
+	if size < int64(len(h.f.data)) {
+		h.f.data = h.f.data[:size]
+	} else {
+		for int64(len(h.f.data)) < size {
+			h.f.data = append(h.f.data, 0)
+		}
+	}
+	if h.f.durable > len(h.f.data) {
+		h.f.durable = len(h.f.data)
+	}
+	return nil
+}
+
+func (h *handle) Close() error { return nil }

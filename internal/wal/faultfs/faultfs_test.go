@@ -1,0 +1,161 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+func TestDurabilityModel(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile("d/a", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-unsynced-tail")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash with no torn tail keeps exactly the synced prefix.
+	clean := fs.Crash(nil)
+	if got := clean.FileLen("d/a"); got != 6 {
+		t.Fatalf("clean crash kept %d bytes, want 6", got)
+	}
+
+	// A torn crash keeps the synced prefix plus some prefix of the tail.
+	for seed := 0; seed < 10; seed++ {
+		torn := fs.Crash(rand.New(rand.NewSource(int64(seed))))
+		n := torn.FileLen("d/a")
+		if n < 6 || n > 20 {
+			t.Fatalf("torn crash kept %d bytes, want 6..20", n)
+		}
+	}
+
+	// The live FS still has everything.
+	if got := fs.FileLen("d/a"); got != 20 {
+		t.Fatalf("live file is %d bytes, want 20", got)
+	}
+}
+
+func TestInjectedWriteAndSync(t *testing.T) {
+	fs := New()
+	f, err := fs.OpenFile("a", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailWrite("a", 2, 3) // second write persists 3 bytes then fails
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("second"))
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("injected write: n=%d err=%v", n, err)
+	}
+	if got := fs.FileLen("a"); got != 8 {
+		t.Fatalf("file is %d bytes after short write, want 8", got)
+	}
+
+	fs.FailSync("a", 1)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected sync: %v", err)
+	}
+	// Failed sync leaves nothing durable.
+	if got := fs.Crash(nil).FileLen("a"); got != 0 {
+		t.Fatalf("crash after failed sync kept %d bytes, want 0", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Crash(nil).FileLen("a"); got != 8 {
+		t.Fatalf("crash after good sync kept %d bytes, want 8", got)
+	}
+
+	fs.FailTruncate("a", 1)
+	if err := f.Truncate(5); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected truncate: %v", err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.FileLen("a"); got != 5 {
+		t.Fatalf("file is %d bytes after truncate, want 5", got)
+	}
+}
+
+func TestRenameRemoveReadDir(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"d/b.tmp", "d/a"} {
+		f, err := fs.OpenFile(name, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(name)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Rename("d/b.tmp", "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if err := fs.Remove("d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenFile("d/a", os.O_RDONLY, 0); err == nil {
+		t.Fatal("removed file still opens")
+	}
+	// Renames are immediately durable; content of the renamed file is
+	// whatever had been synced.
+	crash := fs.Crash(nil)
+	f, err := crash.OpenFile("d/b", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "d/b.tmp" {
+		t.Fatalf("renamed file content %q", data)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	fs := New()
+	f, _ := fs.OpenFile("a", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Write([]byte{0x00, 0xff})
+	f.Sync()
+	if !fs.FlipBit("a", 1, 2) {
+		t.Fatal("in-range flip rejected")
+	}
+	if fs.FlipBit("a", 2, 0) {
+		t.Fatal("out-of-range flip accepted")
+	}
+	r, _ := fs.OpenFile("a", os.O_RDONLY, 0)
+	data, _ := io.ReadAll(r)
+	if data[0] != 0x00 || data[1] != 0xfb {
+		t.Fatalf("content after flip: %x", data)
+	}
+}

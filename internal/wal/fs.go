@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the file layer the WAL and segment code runs on. Production
+// uses the process filesystem (osFS); the fault-injection harness
+// (internal/wal/faultfs) substitutes an in-memory implementation that
+// can simulate torn writes, short writes, fsync failures and bit-flip
+// corruption, and can produce post-crash durable images.
+//
+// Only the operations the durability layer actually needs are modelled.
+// OpenFile on a directory returns a handle usable solely for Sync
+// (directory-entry durability after Rename).
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// ReadDir returns the file names (not full paths) in a directory,
+	// sorted. A missing directory returns an error.
+	ReadDir(name string) ([]string, error)
+	MkdirAll(name string) error
+}
+
+// File is one open WAL or segment file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// osFS is the production FS over the process filesystem.
+type osFS struct{}
+
+// OSFS returns the production file layer.
+func OSFS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) MkdirAll(name string) error { return os.MkdirAll(name, 0o755) }
+
+// syncDir fsyncs a directory so a preceding Rename/Remove of an entry
+// is durable. Filesystems that cannot sync directories (or fault
+// layers that do not model it) may return an error; callers treat that
+// as best-effort.
+func syncDir(fsys FS, dir string) error {
+	f, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// join builds a path inside the data dir.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,138 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// The on-disk encodings are specified in FORMAT.md; this file is their
+// single implementation, shared by the log (batch records) and the
+// segments (term dictionary + ID triples).
+
+// castagnoli is the CRC32C polynomial table. CRC32C is the checksum
+// hardware-accelerated on current CPUs and the conventional choice for
+// storage formats.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordLen caps a record's payload length. A length prefix read
+// from a torn or corrupt header can be arbitrary garbage; the cap keeps
+// such garbage from driving a huge allocation before the CRC check can
+// reject it.
+const maxRecordLen = 64 << 20
+
+// recordHeaderLen is the length prefix plus the checksum.
+const recordHeaderLen = 8
+
+// appendTerm encodes one RDF term: kind byte, then value, lang and
+// datatype as uvarint-length-prefixed strings.
+func appendTerm(b []byte, t rdf.Term) []byte {
+	b = append(b, byte(t.Kind))
+	for _, s := range [3]string{t.Value, t.Lang, t.Datatype} {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// readTerm decodes one term, returning the remaining buffer.
+func readTerm(b []byte) (rdf.Term, []byte, error) {
+	if len(b) < 1 {
+		return rdf.Term{}, nil, fmt.Errorf("wal: truncated term")
+	}
+	t := rdf.Term{Kind: rdf.Kind(b[0])}
+	b = b[1:]
+	for i := 0; i < 3; i++ {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return rdf.Term{}, nil, fmt.Errorf("wal: truncated term string")
+		}
+		s := string(b[sz : sz+int(n)])
+		b = b[sz+int(n):]
+		switch i {
+		case 0:
+			t.Value = s
+		case 1:
+			t.Lang = s
+		case 2:
+			t.Datatype = s
+		}
+	}
+	return t, b, nil
+}
+
+// encodeRecord serialises one committed batch as a log record:
+// length prefix, CRC32C of the payload, payload. The payload carries
+// the generation the batch commits at followed by the ordered
+// operations.
+func encodeRecord(gen uint64, ops []store.BatchOp) []byte {
+	payload := make([]byte, 8, 64)
+	binary.LittleEndian.PutUint64(payload, gen)
+	payload = binary.AppendUvarint(payload, uint64(len(ops)))
+	for _, op := range ops {
+		flags := byte(0)
+		if op.Delete {
+			flags = 1
+		}
+		payload = append(payload, flags)
+		payload = binary.AppendUvarint(payload, uint64(len(op.Triples)))
+		for _, t := range op.Triples {
+			payload = appendTerm(payload, t.S)
+			payload = appendTerm(payload, t.P)
+			payload = appendTerm(payload, t.O)
+		}
+	}
+	rec := make([]byte, recordHeaderLen, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	return append(rec, payload...)
+}
+
+// decodePayload decodes a checksum-verified record payload.
+func decodePayload(payload []byte) (gen uint64, ops []store.BatchOp, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("wal: record payload too short")
+	}
+	gen = binary.LittleEndian.Uint64(payload)
+	b := payload[8:]
+	nOps, sz := binary.Uvarint(b)
+	if sz <= 0 || nOps > uint64(len(b)) {
+		return 0, nil, fmt.Errorf("wal: bad op count")
+	}
+	b = b[sz:]
+	ops = make([]store.BatchOp, 0, nOps)
+	for i := uint64(0); i < nOps; i++ {
+		if len(b) < 1 {
+			return 0, nil, fmt.Errorf("wal: truncated op")
+		}
+		op := store.BatchOp{Delete: b[0]&1 != 0}
+		b = b[1:]
+		nT, sz := binary.Uvarint(b)
+		if sz <= 0 || nT > uint64(len(b)) {
+			return 0, nil, fmt.Errorf("wal: bad triple count")
+		}
+		b = b[sz:]
+		op.Triples = make([]rdf.Triple, 0, nT)
+		for j := uint64(0); j < nT; j++ {
+			var t rdf.Triple
+			if t.S, b, err = readTerm(b); err != nil {
+				return 0, nil, err
+			}
+			if t.P, b, err = readTerm(b); err != nil {
+				return 0, nil, err
+			}
+			if t.O, b, err = readTerm(b); err != nil {
+				return 0, nil, err
+			}
+			op.Triples = append(op.Triples, t)
+		}
+		ops = append(ops, op)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("wal: %d trailing payload bytes", len(b))
+	}
+	return gen, ops, nil
+}

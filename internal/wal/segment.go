@@ -1,0 +1,227 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// segMagic opens every segment file.
+var segMagic = []byte("QASEG001")
+
+// segmentName formats the file name for a segment at gen. The
+// zero-padded decimal keeps lexicographic and numeric order identical.
+func segmentName(gen uint64) string {
+	return fmt.Sprintf("segment-%020d.seg", gen)
+}
+
+// parseSegmentName extracts the generation from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "segment-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "segment-"), ".seg"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listSegments returns the generations of the segment files in dir,
+// ascending. A missing dir returns nil.
+func listSegments(fsys FS, dir string) []uint64 {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, n := range names {
+		if g, ok := parseSegmentName(n); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// encodeSegmentPayload serialises the snapshot: its generation, the
+// term dictionary (IDs are the 1-based dictionary positions, exactly
+// the store's own encoding), and the triples as uvarint ID triples in
+// SPO index order.
+func encodeSegmentPayload(sn *store.Snapshot) []byte {
+	terms := sn.TermsView()
+	b := make([]byte, 8, 64+16*len(terms))
+	binary.LittleEndian.PutUint64(b, sn.Gen())
+	b = binary.AppendUvarint(b, uint64(len(terms)))
+	for _, t := range terms {
+		b = appendTerm(b, t)
+	}
+	b = binary.AppendUvarint(b, uint64(sn.Len()))
+	sn.ForEachMatchIDs([3]store.ID{}, func(s, p, o store.ID) bool {
+		b = binary.AppendUvarint(b, uint64(s))
+		b = binary.AppendUvarint(b, uint64(p))
+		b = binary.AppendUvarint(b, uint64(o))
+		return true
+	})
+	return b
+}
+
+// decodeSegmentPayload reverses encodeSegmentPayload into the
+// snapshot's generation and term-space triples.
+func decodeSegmentPayload(b []byte) (gen uint64, triples []rdf.Triple, err error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("wal: segment payload too short")
+	}
+	gen = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	nTerms, sz := binary.Uvarint(b)
+	if sz <= 0 || nTerms > uint64(len(b)) {
+		return 0, nil, fmt.Errorf("wal: bad segment term count")
+	}
+	b = b[sz:]
+	terms := make([]rdf.Term, 0, nTerms)
+	for i := uint64(0); i < nTerms; i++ {
+		var t rdf.Term
+		if t, b, err = readTerm(b); err != nil {
+			return 0, nil, err
+		}
+		terms = append(terms, t)
+	}
+	nTriples, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("wal: bad segment triple count")
+	}
+	b = b[sz:]
+	term := func(id uint64) (rdf.Term, error) {
+		if id == 0 || id > uint64(len(terms)) {
+			return rdf.Term{}, fmt.Errorf("wal: segment triple references term %d of %d", id, len(terms))
+		}
+		return terms[id-1], nil
+	}
+	triples = make([]rdf.Triple, 0, nTriples)
+	for i := uint64(0); i < nTriples; i++ {
+		var ids [3]uint64
+		for j := range ids {
+			v, sz := binary.Uvarint(b)
+			if sz <= 0 {
+				return 0, nil, fmt.Errorf("wal: truncated segment triple")
+			}
+			ids[j] = v
+			b = b[sz:]
+		}
+		var t rdf.Triple
+		if t.S, err = term(ids[0]); err != nil {
+			return 0, nil, err
+		}
+		if t.P, err = term(ids[1]); err != nil {
+			return 0, nil, err
+		}
+		if t.O, err = term(ids[2]); err != nil {
+			return 0, nil, err
+		}
+		triples = append(triples, t)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("wal: %d trailing segment bytes", len(b))
+	}
+	return gen, triples, nil
+}
+
+// writeSegment durably serialises the snapshot into dir: the payload
+// is written to a temp file, fsynced, atomically renamed to its final
+// segment name, and the directory entry is fsynced. A crash at any
+// point leaves either no new segment or a complete, checksummed one —
+// never a partial file under the final name.
+func writeSegment(fsys FS, dir string, sn *store.Snapshot) error {
+	payload := encodeSegmentPayload(sn)
+	name := segmentName(sn.Gen())
+	tmp := join(dir, name+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, len(segMagic)+recordHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(payload, castagnoli))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	syncDir(fsys, dir) // best-effort: entry durability
+	return nil
+}
+
+// readSegment loads and verifies the segment at gen.
+func readSegment(fsys FS, dir string, gen uint64) ([]rdf.Triple, error) {
+	f, err := fsys.OpenFile(join(dir, segmentName(gen)), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(segMagic)+recordHeaderLen || string(data[:len(segMagic)]) != string(segMagic) {
+		return nil, fmt.Errorf("wal: segment %d: bad magic", gen)
+	}
+	rest := data[len(segMagic):]
+	n := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	if int(n) != len(rest)-recordHeaderLen {
+		return nil, fmt.Errorf("wal: segment %d: length %d does not match file", gen, n)
+	}
+	payload := rest[recordHeaderLen:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("wal: segment %d: checksum mismatch", gen)
+	}
+	fileGen, triples, err := decodeSegmentPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if fileGen != gen {
+		return nil, fmt.Errorf("wal: segment %d: payload claims generation %d", gen, fileGen)
+	}
+	return triples, nil
+}
+
+// removeTempFiles clears *.tmp leftovers from a crashed compaction.
+func removeTempFiles(fsys FS, dir string) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			fsys.Remove(join(dir, n))
+		}
+	}
+}

@@ -9,9 +9,12 @@
 # path must come in >= 10x faster), and the per-question execution
 # sessions (PR 5: BenchmarkExtractSequential vs
 # BenchmarkExtractSessionless is the value of the session's memoized
-# scans, sorted-ID merge joins and hoisted cardinalities) — and emits
-# BENCH_PR5.json with ns/op and allocs/op per benchmark, so later PRs
-# have a perf trajectory to compare against.
+# scans, sorted-ID merge joins and hoisted cardinalities), and the
+# durability layer (PR 6: BenchmarkWALAppend is the per-batch
+# append+fsync+apply commit cost, BenchmarkWALRecovery is a cold start
+# over the built-in KB's segment plus a 64-record log tail) — and
+# emits BENCH_PR6.json with ns/op and allocs/op per benchmark, so
+# later PRs have a perf trajectory to compare against.
 #
 # The BenchmarkAnswerCtx / BenchmarkAnswerThroughput comparability pair
 # (the stage-framework-overhead bound) runs in its own `go test`
@@ -32,11 +35,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' \
-  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$' \
+  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$' \
   -benchmem -benchtime="$benchtime" .)"
 
 echo "$raw"

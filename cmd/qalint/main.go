@@ -1,0 +1,57 @@
+// Command qalint runs the project's static-analysis suite
+// (internal/lint) over the given package patterns and exits non-zero
+// on any finding. It is a blocking CI step; run it locally with
+// scripts/lint.sh or:
+//
+//	go run ./cmd/qalint ./...
+//
+// The enforced invariants are catalogued in internal/lint/INVARIANTS.md.
+// Findings are suppressed per line with a reasoned waiver comment:
+//
+//	//qalint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qalint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -103,6 +103,16 @@
 // pipeline construction finish, and graceful shutdown drains requests
 // before the final WAL fsync and checkpoint.
 //
+// The cross-cutting invariants those layers lean on — snapshot
+// pinning in the execution packages, request-context flow down to the
+// scans, WAL file ops routed through the fault-injectable FS seam and
+// Sync-before-ack at the commit point, injected clocks in the
+// deterministic packages, and mutex-guarded field access — are
+// machine-checked by the project's own static-analysis suite
+// (internal/lint, run by cmd/qalint and CI). internal/lint/
+// INVARIANTS.md catalogues each invariant with the check and the
+// reason it exists.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-vs-measured numbers, and bench_test.go for the per-table/figure
 // regeneration harness.

@@ -135,6 +135,7 @@ func (e *ErrBoolean) Error() string {
 
 // Extract builds, ranks and executes the candidate queries.
 func (e *Extractor) Extract(mp *propmap.Mapping) (*Result, error) {
+	//qalint:ignore ctxflow pre-context compatibility wrapper; new callers use ExtractCtx.
 	return e.ExtractCtx(context.Background(), mp)
 }
 

@@ -1,0 +1,14 @@
+package answer
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package when its tests leak goroutines: the
+// candidate fan-out runs worker pools that must always drain, even on
+// cancellation and early-commit paths.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

@@ -419,6 +419,7 @@ type StageTrace = pipeline.StageTrace
 // compatibility wrapper around AnswerCtx and produces results identical
 // to the pre-staged pipeline.
 func (s *System) Answer(question string) *Result {
+	//qalint:ignore ctxflow documented context-free compatibility wrapper; new callers use AnswerCtx.
 	return s.AnswerCtx(context.Background(), question)
 }
 

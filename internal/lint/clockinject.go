@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockInject forbids reading the process clock in packages whose
+// behaviour must be deterministic under test: qacache expiry, WAL
+// commit/recovery and store generations are all driven by injected
+// clocks (the PR 6 WithClock design), so a stray time.Now would make
+// TTL and recovery behaviour untestable without sleeps.
+var ClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc:  "no time.Now/Since/Until in internal/qacache, internal/wal or internal/store — use the injected clock",
+	Run:  runClockInject,
+}
+
+// clockInjectScope is where the invariant applies.
+var clockInjectScope = []string{"internal/qacache", "internal/wal", "internal/store"}
+
+// wallClockFuncs are the time functions that read the process clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runClockInject(p *Pass) {
+	if !pathMatches(p.Pkg.Path, clockInjectScope...) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if isTestFile(p.Pkg, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Sel.Pos(),
+				"time.%s in a deterministic package: take the clock as an injected func() time.Time (cf. qacache.WithClock)",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one source-type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Name  string // package name
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Error      *listErr
+}
+
+type listErr struct {
+	Err string
+}
+
+// goList runs `go list -json <args>` in dir and decodes the package
+// stream.
+func goList(dir string, args ...string) ([]*listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the non-test source of the packages matched by
+// patterns in the module containing dir. The analyzed packages are
+// parsed and checked from source; their dependencies (stdlib and
+// module-internal alike) are read from compiled export data produced
+// by `go list -deps -export`, so loading needs only the Go toolchain —
+// no third-party machinery. Test files and testdata directories are
+// not loaded (the go tool excludes testdata from pattern expansion).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	deps, err := goList(dir, append([]string{"-deps", "-export", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPkg, len(deps))
+	for _, p := range deps {
+		byPath[p.ImportPath] = p
+	}
+
+	roots, err := goList(dir, append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		m := byPath[path]
+		if m == nil || m.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(m.Export)
+	})
+
+	var out []*Package
+	for _, r := range roots {
+		if r.Standard {
+			continue
+		}
+		if r.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", r.ImportPath, r.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, r *listedPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(r.GoFiles))
+	for _, name := range r.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(r.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(r.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", r.ImportPath, err)
+	}
+	return &Package{
+		Path:  r.ImportPath,
+		Name:  tpkg.Name(),
+		Dir:   r.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

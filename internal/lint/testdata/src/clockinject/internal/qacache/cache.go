@@ -1,0 +1,25 @@
+// Package qacache exercises clockinject inside a deterministic
+// package: the wall clock must arrive injected.
+package qacache
+
+import "time"
+
+// Cache expires entries against an injected clock.
+type Cache struct {
+	now func() time.Time
+}
+
+// New defaults the clock to the wall clock.
+func New() *Cache {
+	return &Cache{now: time.Now} // want `time\.Now in a deterministic package`
+}
+
+// NewWithClock takes the clock injected — compliant.
+func NewWithClock(now func() time.Time) *Cache {
+	return &Cache{now: now}
+}
+
+// Expired reads the injected clock — compliant.
+func (c *Cache) Expired(deadline time.Time) bool {
+	return c.now().After(deadline)
+}

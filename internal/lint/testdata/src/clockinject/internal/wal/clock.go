@@ -1,0 +1,10 @@
+// Package wal is in the clockinject scope too: recovery behaviour must
+// not depend on the process clock.
+package wal
+
+import "time"
+
+// Age measures against the process clock.
+func Age(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a deterministic package`
+}

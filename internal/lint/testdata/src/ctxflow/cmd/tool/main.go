@@ -1,0 +1,10 @@
+// Command tool shows that package main under cmd/ may mint root
+// contexts: it is where request lifetimes begin.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,10 @@
+// Package util shows the root-context ban applies to every library
+// package, not just the execution scope.
+package util
+
+import "context"
+
+// Root mints a root context outside cmd/.
+func Root() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}

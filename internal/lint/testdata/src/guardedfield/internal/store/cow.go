@@ -1,0 +1,47 @@
+// Package store exercises guardedfield: a field commented "guarded by
+// <mu>" may only be touched under that mutex, or inside a function
+// whose doc documents the lock transfer ("caller holds <mu>").
+package store
+
+import "sync"
+
+// writer owns the memo and the generation counter under mu.
+type writer struct {
+	mu   sync.RWMutex
+	memo map[string]int // guarded by mu
+	gen  uint64         // guarded by mu
+	free int
+}
+
+// bump locks the mutex — compliant.
+func (w *writer) bump() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gen++
+}
+
+// peek reads under the read lock — compliant.
+func (w *writer) peek(k string) int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.memo[k]
+}
+
+// raw forgets the mutex entirely.
+func (w *writer) raw(k string) int {
+	return w.memo[k] // want `field memo is guarded by mu`
+}
+
+// stamp also forgets it, on a write.
+func (w *writer) stamp() {
+	w.gen++ // want `field gen is guarded by mu`
+}
+
+// applyLocked mutates the memo. Caller holds w.mu.
+func (w *writer) applyLocked(k string, v int) {
+	w.memo[k] = v
+	w.gen++
+}
+
+// count reads an unguarded field — compliant.
+func (w *writer) count() int { return w.free }

@@ -1,0 +1,14 @@
+// Package answer is the second in-scope execution package.
+package answer
+
+import "repro/internal/store"
+
+// Mutate writes from the execution layer — also a direct Store call.
+func Mutate(st *store.Store) bool {
+	return st.Add(store.Triple{}) // want `direct store\.Store\.Add call`
+}
+
+// CountPinned reads through the pin — compliant.
+func CountPinned(sn *store.Snapshot) int {
+	return sn.Count(store.Triple{})
+}

@@ -1,0 +1,11 @@
+// Package kb is outside the snapshotpin scope: loading code may read
+// the store directly.
+package kb
+
+import "repro/internal/store"
+
+// Size reads the store directly, which is fine here — kb is not an
+// execution package.
+func Size(st *store.Store) int {
+	return st.Len()
+}

@@ -1,0 +1,38 @@
+// Package store is a miniature stand-in for the real triple store:
+// just enough surface (Store, Snapshot, a few read methods) for the
+// snapshotpin analyzer to resolve receiver types against.
+package store
+
+// Triple is a minimal triple.
+type Triple struct{ S, P, O string }
+
+// Snapshot is an immutable view; reads through it are always allowed.
+type Snapshot struct{}
+
+// Len returns the triple count.
+func (sn *Snapshot) Len() int { return 0 }
+
+// Match returns the triples matching the pattern.
+func (sn *Snapshot) Match(pat Triple) []Triple { return nil }
+
+// Count counts the triples matching the pattern.
+func (sn *Snapshot) Count(pat Triple) int { return 0 }
+
+// Store is the mutable store; execution packages must not read it
+// directly.
+type Store struct{}
+
+// Snapshot pins the current state.
+func (s *Store) Snapshot() *Snapshot { return &Snapshot{} }
+
+// Len returns the triple count.
+func (s *Store) Len() int { return 0 }
+
+// Match returns the triples matching the pattern.
+func (s *Store) Match(pat Triple) []Triple { return nil }
+
+// Count counts the triples matching the pattern.
+func (s *Store) Count(pat Triple) int { return 0 }
+
+// Add inserts a triple.
+func (s *Store) Add(t Triple) bool { return false }

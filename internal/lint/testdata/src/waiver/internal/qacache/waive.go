@@ -1,0 +1,48 @@
+// Package qacache exercises the waiver engine against clockinject
+// findings: a reasoned waiver suppresses exactly the named analyzer,
+// on its own line or the line below; everything else still fires.
+package qacache
+
+import "time"
+
+// reasoned is waived with a reason on the preceding line: suppressed,
+// no finding anywhere.
+func reasoned() time.Time {
+	//qalint:ignore clockinject testdata proving a reasoned waiver suppresses the named analyzer.
+	return time.Now()
+}
+
+// sameLine is waived on the offending line itself — also suppressed.
+func sameLine() time.Time {
+	return time.Now() //qalint:ignore clockinject same-line waiver form.
+}
+
+// reasonless carries a bare waiver: the waiver itself is a finding and
+// the clockinject diagnostic still fires.
+func reasonless() time.Time {
+	// want:below `qalint:ignore clockinject needs a reason`
+	//qalint:ignore clockinject
+	return time.Now() // want `time\.Now in a deterministic package`
+}
+
+// misdirected waives a different (real) analyzer: well-formed, but it
+// suppresses nothing here.
+func misdirected() time.Time {
+	//qalint:ignore snapshotpin waiver aimed at the wrong analyzer on purpose.
+	return time.Now() // want `time\.Now in a deterministic package`
+}
+
+// unknown names an analyzer that does not exist: the waiver is a
+// finding and suppresses nothing.
+func unknown() time.Time {
+	// want:below `qalint:ignore names unknown analyzer`
+	//qalint:ignore nosuchcheck with a perfectly fine reason.
+	return time.Now() // want `time\.Now in a deterministic package`
+}
+
+// nameless has neither analyzer nor reason.
+func nameless() time.Time {
+	// want:below `qalint:ignore needs an analyzer name and a reason`
+	//qalint:ignore
+	return time.Now() // want `time\.Now in a deterministic package`
+}

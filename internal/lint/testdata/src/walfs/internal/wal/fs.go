@@ -1,0 +1,18 @@
+// Package wal exercises the walfs analyzer: raw os operations are
+// confined to fs.go, and a commit-point function must Sync before
+// acknowledging success.
+package wal
+
+import "os"
+
+// File is the abstraction the rest of the package must route file
+// operations through.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+}
+
+// open is the one place allowed to touch the os package directly.
+func open(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"errors"
+	"os"
+)
+
+// logFile is a minimal append-only log over the File abstraction.
+type logFile struct {
+	f File
+}
+
+// rotate bypasses the file abstraction outside fs.go.
+func rotate(dir string) error {
+	return os.Rename(dir+"/wal.log", dir+"/wal.old") // want `raw os\.Rename outside fs\.go`
+}
+
+// missing uses an os sentinel value, which is allowed anywhere: values
+// are not file operations.
+func missing(err error) bool {
+	return errors.Is(err, os.ErrNotExist)
+}
+
+// commit appends the record and fsyncs before acknowledging — this is
+// the commit point, done right.
+func (l *logFile) commit(rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ackEarly acknowledges the empty batch before the Sync below can have
+// run — wrong, because this function is the commit point.
+func (l *logFile) ackEarly(rec []byte) error {
+	if len(rec) == 0 {
+		return nil // want `success return in commit point`
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// ackUnsynced never reaches stable storage at all, yet it is the
+// commit point.
+func (l *logFile) ackUnsynced(rec []byte) error { // want `documented as the commit point but never calls Sync`
+	_, err := l.f.Write(rec)
+	return err
+}

@@ -35,8 +35,8 @@ type Cache[V any] struct {
 type shard[V any] struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	ll  *list.List               // front = most recently used; guarded by mu
+	m   map[string]*list.Element // guarded by mu
 }
 
 type entry[V any] struct {
@@ -51,6 +51,7 @@ type entry[V any] struct {
 // entry). Capacity <= 0 yields a cache of nShards entries minimum —
 // callers gate "disabled" above this package.
 func New[V any](capacity int) *Cache[V] {
+	//qalint:ignore clockinject the one construction point of the injected clock; everything else reads c.now, tests swap it via WithClock.
 	c := &Cache[V]{now: time.Now}
 	per := capacity / nShards
 	if per < 1 {

@@ -46,6 +46,7 @@ type Report struct {
 // Gold computes the gold answer set of a question against the KB. ASK
 // gold queries yield a single xsd:boolean literal.
 func Gold(k *kb.KB, q Question) ([]rdf.Term, error) {
+	//qalint:ignore ctxflow pre-context compatibility wrapper; new callers use GoldCtx.
 	return GoldCtx(context.Background(), k, q)
 }
 
@@ -79,6 +80,7 @@ func Evaluate(s *core.System, questions []Question) (*Report, error) {
 // EvaluateWorkers evaluates with question-level parallelism; see
 // EvaluateWorkersCtx.
 func EvaluateWorkers(s *core.System, questions []Question, workers int) (*Report, error) {
+	//qalint:ignore ctxflow pre-context compatibility wrapper; new callers use EvaluateWorkersCtx.
 	return EvaluateWorkersCtx(context.Background(), s, questions, workers)
 }
 

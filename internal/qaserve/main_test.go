@@ -1,0 +1,15 @@
+package qaserve
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestMain fails the package when its tests leak goroutines: request
+// handlers spawn per-question sessions and the batch path a worker
+// pool, and every one of them must be gone once the response is
+// written.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

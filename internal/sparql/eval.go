@@ -61,6 +61,7 @@ import (
 
 // Execute runs the query against the store.
 func Execute(st *store.Store, q *Query) (*Result, error) {
+	//qalint:ignore ctxflow pre-context compatibility wrapper; new callers use ExecuteCtx, which the ban steers them to.
 	return ExecuteCtx(context.Background(), st, q)
 }
 
@@ -83,6 +84,7 @@ func ExecuteCtx(ctx context.Context, st *store.Store, q *Query) (*Result, error)
 
 // ExecuteString parses and runs src against the store.
 func ExecuteString(st *store.Store, src string) (*Result, error) {
+	//qalint:ignore ctxflow pre-context compatibility wrapper; new callers use ExecuteStringCtx.
 	return ExecuteStringCtx(context.Background(), st, src)
 }
 
@@ -137,9 +139,9 @@ func (ex *executor) term(id store.ID) rdf.Term {
 
 // compile builds the column layout and resolves all constants to IDs
 // through the session's memoized dictionary lookups; the whole query
-// reads the session's pinned snapshot.
-func compile(sess *Session, q *Query) *executor {
-	ex := &executor{sess: sess, snap: sess.snap, q: q, ctx: context.Background(),
+// reads the session's pinned snapshot and runs under ctx.
+func compile(ctx context.Context, sess *Session, q *Query) *executor {
+	ex := &executor{sess: sess, snap: sess.snap, q: q, ctx: ctx,
 		terms: sess.terms, varCols: map[string]int{}}
 	// Column order must match Query.Vars() so SELECT * projects in the
 	// documented order of first appearance.

@@ -85,9 +85,9 @@ type Session struct {
 	terms []rdf.Term
 
 	mu     sync.RWMutex
-	ids    map[rdf.Term]store.ID      // constant resolution; 0 = not in dictionary
-	scans  map[[3]store.ID]*scanEntry // nil entry: over budget, do not memoize
-	budget int                        // remaining scan-memo IDs
+	ids    map[rdf.Term]store.ID      // constant resolution; 0 = not in dictionary; guarded by mu
+	scans  map[[3]store.ID]*scanEntry // nil entry: over budget, do not memoize; guarded by mu
+	budget int                        // remaining scan-memo IDs; guarded by mu
 }
 
 // NewSession pins the store's current snapshot and returns a session
@@ -111,6 +111,7 @@ func (s *Session) Snapshot() *store.Snapshot { return s.snap }
 
 // Execute runs the query through the session.
 func (s *Session) Execute(q *Query) (*Result, error) {
+	//qalint:ignore ctxflow pre-context compatibility wrapper; new callers use ExecuteCtx.
 	return s.ExecuteCtx(context.Background(), q)
 }
 
@@ -122,11 +123,10 @@ func (s *Session) ExecuteCtx(ctx context.Context, q *Query) (*Result, error) {
 		return nil, fmt.Errorf("sparql: nil query")
 	}
 	if ctx == nil {
+		//qalint:ignore ctxflow nil-ctx normalization at the public API boundary; callers without a context get an inert root here, never deeper.
 		ctx = context.Background()
 	}
-	ex := compile(s, q)
-	ex.ctx = ctx
-	return ex.run()
+	return compile(ctx, s, q).run()
 }
 
 // resolve returns the dictionary ID of t in the pinned snapshot,

@@ -26,17 +26,19 @@ import (
 
 // ExecuteTermSpace runs the query with the term-space reference
 // evaluator. Results are identical to Execute; only the execution
-// strategy (and its cost) differs.
+// strategy (and its cost) differs. Like the ID engine it pins one
+// snapshot up front, so even the oracle path can never mix
+// generations mid-query.
 func ExecuteTermSpace(st *store.Store, q *Query) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("sparql: nil query")
 	}
-	ex := &tsExecutor{st: st, q: q}
+	ex := &tsExecutor{st: st.Snapshot(), q: q}
 	return ex.run()
 }
 
 type tsExecutor struct {
-	st *store.Store
+	st *store.Snapshot
 	q  *Query
 }
 

@@ -243,7 +243,7 @@ type Snapshot struct {
 type Store struct {
 	wmu  sync.Mutex // serialises writers
 	snap atomic.Pointer[Snapshot]
-	gen  uint64 // last allocated batch generation (writer-owned)
+	gen  uint64 // last allocated batch generation; guarded by wmu
 }
 
 // New returns an empty store.

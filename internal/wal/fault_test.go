@@ -28,10 +28,10 @@ import (
 
 const dataDir = "data"
 
-func logPath() string { return dataDir + "/wal.log" }
+func logPath() string { return dataDir + "/" + wal.LogName }
 
 func segPath(gen uint64) string {
-	return fmt.Sprintf("%s/segment-%020d.seg", dataDir, gen)
+	return dataDir + "/" + fmt.Sprintf(wal.SegmentPattern, gen)
 }
 
 func triple(i int) rdf.Triple {
@@ -172,8 +172,8 @@ func TestTornWriteRecovery(t *testing.T) {
 		for i := 1; i <= 5; i++ {
 			r.apply(ins(i))
 		}
-		fsys.FailWrite("wal.log", 1, rng.Intn(40))
-		fsys.FailTruncate("wal.log", 1)
+		fsys.FailWrite(wal.LogName, 1, rng.Intn(40))
+		fsys.FailTruncate(wal.LogName, 1)
 		r.applyFails(ins(6))
 		// The failed rollback poisons the log: later appends are refused
 		// rather than risked after garbage.
@@ -197,7 +197,7 @@ func TestShortWriteRollback(t *testing.T) {
 		fsys := faultfs.New()
 		r := startRun(t, fsys, -1, []rdf.Triple{triple(0)})
 		r.apply(ins(1))
-		fsys.FailWrite("wal.log", 1, short)
+		fsys.FailWrite(wal.LogName, 1, short)
 		r.applyFails(ins(2))
 		r.apply(ins(3)) // the log recovered its offset; appends continue
 		r.apply(del(1))
@@ -217,7 +217,7 @@ func TestSyncFailureRollback(t *testing.T) {
 		fsys := faultfs.New()
 		r := startRun(t, fsys, -1, []rdf.Triple{triple(0)})
 		r.apply(ins(1), ins(2))
-		fsys.FailSync("wal.log", 1)
+		fsys.FailSync(wal.LogName, 1)
 		r.applyFails(ins(3))
 		r.apply(ins(4))
 
@@ -346,10 +346,10 @@ func TestRandomizedFaultDifferential(t *testing.T) {
 			faulted := false
 			switch rng.Intn(4) {
 			case 0:
-				fsys.FailWrite("wal.log", 1, rng.Intn(20))
+				fsys.FailWrite(wal.LogName, 1, rng.Intn(20))
 				faulted = true
 			case 1:
-				fsys.FailSync("wal.log", 1)
+				fsys.FailSync(wal.LogName, 1)
 				faulted = true
 			}
 			if faulted {

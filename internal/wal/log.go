@@ -11,9 +11,6 @@ import (
 	"repro/internal/store"
 )
 
-// logName is the append log's file name inside the data dir.
-const logName = "wal.log"
-
 // logMagic opens every log file; a file without it (fresh, empty or
 // with a torn first write) is treated as an empty log.
 var logMagic = []byte("QAWAL001")

@@ -1,0 +1,18 @@
+package wal
+
+// On-disk file names inside the data dir, exported so tests and
+// tooling address the same files the Manager writes instead of
+// re-hardcoding the layout. FORMAT.md documents both.
+const (
+	// LogName is the append log's file name.
+	LogName = "wal.log"
+	// SegmentPattern is the fmt pattern of a segment file's name given
+	// its generation. The zero-padded decimal keeps lexicographic and
+	// numeric order identical.
+	SegmentPattern = "segment-%020d.seg"
+
+	// segPrefix/segSuffix are the pieces parseSegmentName recognises;
+	// they must stay in sync with SegmentPattern.
+	segPrefix = "segment-"
+	segSuffix = ".seg"
+)

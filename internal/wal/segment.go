@@ -17,18 +17,17 @@ import (
 // segMagic opens every segment file.
 var segMagic = []byte("QASEG001")
 
-// segmentName formats the file name for a segment at gen. The
-// zero-padded decimal keeps lexicographic and numeric order identical.
+// segmentName formats the file name for a segment at gen.
 func segmentName(gen uint64) string {
-	return fmt.Sprintf("segment-%020d.seg", gen)
+	return fmt.Sprintf(SegmentPattern, gen)
 }
 
 // parseSegmentName extracts the generation from a segment file name.
 func parseSegmentName(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, "segment-") || !strings.HasSuffix(name, ".seg") {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
 		return 0, false
 	}
-	gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "segment-"), ".seg"), 10, 64)
+	gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
 	if err != nil {
 		return 0, false
 	}

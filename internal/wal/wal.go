@@ -127,7 +127,7 @@ func Recover(dir string, o Options) (*Recovery, error) {
 		break
 	}
 
-	records, _, err := scanLog(fsys, join(dir, logName))
+	records, _, err := scanLog(fsys, join(dir, LogName))
 	if err != nil {
 		return nil, err
 	}
@@ -182,8 +182,8 @@ type Manager struct {
 	dir     string
 	st      *store.Store
 	log     *logFile
-	gen     uint64 // last committed generation
-	segGen  uint64 // generation of the newest durable segment
+	gen     uint64 // last committed generation; guarded by mu
+	segGen  uint64 // generation of the newest durable segment; guarded by mu
 	compact int64  // log-size compaction threshold (<0 disables)
 }
 
@@ -208,11 +208,11 @@ func (r *Recovery) Open(st *store.Store) (*Manager, error) {
 		segGen:  r.SegmentGen,
 		compact: r.o.compactBytes(),
 	}
-	_, validEnd, err := scanLog(fsys, join(r.dir, logName))
+	_, validEnd, err := scanLog(fsys, join(r.dir, LogName))
 	if err != nil {
 		return nil, err
 	}
-	m.log, err = openLog(fsys, join(r.dir, logName), validEnd)
+	m.log, err = openLog(fsys, join(r.dir, LogName), validEnd)
 	if err != nil {
 		return nil, err
 	}

@@ -226,7 +226,7 @@ func TestRecoveryTornTailIsCleanEnd(t *testing.T) {
 	}
 
 	// Tear the last record: chop bytes off the end of the log.
-	path := dir + "/" + logName
+	path := dir + "/" + LogName
 	fi, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)

@@ -31,21 +31,34 @@
 # single-core host the parallel numbers sit at parity plus scheduling
 # overhead).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [smoke | output.json]
+#
+#   smoke        a fast CI sanity pass (-benchtime=20x) over the key
+#                benchmarks: exercises every tentpole path, produces no
+#                JSON. This is the single place the CI smoke regex
+#                lives; .github/workflows/ci.yml just calls it.
+#   output.json  full run; writes the JSON (default BENCH_PR6.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The benchmark selections, defined once for every mode.
+bench_full='BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$'
+bench_pair='BenchmarkAnswer(Throughput|Ctx)$'
+bench_smoke='BenchmarkStore|BenchmarkExtract(Sequential|Parallel|Sessionless)$|BenchmarkBGPJoin(Idle|UnderLoad)$|BenchmarkAnswerCtx$|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$'
+
+if [ "${1:-}" = "smoke" ]; then
+  exec go test -run '^$' -bench "$bench_smoke" -benchtime=20x -benchmem .
+fi
 
 out="${1:-BENCH_PR6.json}"
 benchtime="${BENCHTIME:-1s}"
 
-raw="$(go test -run '^$' \
-  -bench 'BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$' \
-  -benchmem -benchtime="$benchtime" .)"
+raw="$(go test -run '^$' -bench "$bench_full" -benchmem -benchtime="$benchtime" .)"
 
 echo "$raw"
 
 # Fresh process for the comparable pair (see the header comment).
-rawpair="$(go test -run '^$' -bench 'BenchmarkAnswer(Throughput|Ctx)$' \
+rawpair="$(go test -run '^$' -bench "$bench_pair" \
   -benchmem -benchtime="$benchtime" .)"
 
 echo "$rawpair"

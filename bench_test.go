@@ -19,8 +19,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/answer"
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/ner"
@@ -898,6 +900,42 @@ func BenchmarkWALRecovery(b *testing.B) {
 		}
 		if !r.Exists || r.Records != 64 {
 			b.Fatalf("recovery = %+v", r)
+		}
+	}
+}
+
+// --- PR 8: admission control and chaos fault-point overhead ---
+
+// BenchmarkAdmissionAcquireRelease measures the per-request cost of
+// the adaptive limiter's hot path — one Acquire plus one Release with
+// a latency sample — at an uncontended limit. This is the tax every
+// request pays once -adaptive-admission is on.
+func BenchmarkAdmissionAcquireRelease(b *testing.B) {
+	lim := admission.New(admission.Options{
+		Initial: 64, Target: 500 * time.Millisecond,
+		Window: time.Second, Now: time.Now, Adaptive: true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !lim.Acquire(admission.Normal) {
+			b.Fatal("rejected at idle")
+		}
+		lim.Release(time.Millisecond)
+	}
+}
+
+// BenchmarkChaosHitDisabled measures an inert fault point: the cost a
+// production request (no injector in its context) pays at every stage
+// boundary. The differential guarantee wants this indistinguishable
+// from free.
+func BenchmarkChaosHitDisabled(b *testing.B) {
+	ctx := context.Background() // carries no injector: the production state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chaos.HitCtx(ctx, "stage.answer"); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	qa [-explain] [-top N] [-kb file.nt] [-parallel N] [-timeout 2s] [-cache N] "Which book is written by Orhan Pamuk?"
 //	qa -i       # interactive: one question per line on stdin
+//	qa -chaos stage.answer:error:0.5 -chaos-seed 7 ...   # seeded fault injection
 //
 // With no arguments it answers a demonstration set of questions.
 package main
@@ -20,9 +21,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/kb"
 )
+
+// injector is the optional -chaos fault injector; nil keeps every
+// fault point inert.
+var injector *chaos.Injector
 
 func main() {
 	explain := flag.Bool("explain", false, "print the full pipeline trace")
@@ -32,7 +38,19 @@ func main() {
 	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-question deadline; the pipeline cancels at the next stage/join boundary (0 = none)")
 	cacheSize := flag.Int("cache", 0, "answer cache entries, useful with -i (0 = disabled)")
+	chaosSpec := flag.String("chaos", "", "arm fault injection at the pipeline stage boundaries: point:kind:prob[:latency[:limit]] rules, comma-separated (see internal/chaos)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos injector's random source")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		rules, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qa:", err)
+			os.Exit(1)
+		}
+		injector = chaos.New(*chaosSeed, rules...)
+		fmt.Fprintf(os.Stderr, "qa: chaos armed (%d rules, seed %d)\n", len(rules), *chaosSeed)
+	}
 
 	var sys *core.System
 	if *kbPath != "" || *parallel != 0 || *cacheSize != 0 {
@@ -93,7 +111,7 @@ func main() {
 }
 
 func answerOne(sys *core.System, q string, explain bool, top int, timeout time.Duration) {
-	ctx := context.Background()
+	ctx := chaos.With(context.Background(), injector)
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)

@@ -11,12 +11,19 @@
 //	qaserve [-addr :8080] [-timeout 5s] [-max-inflight 64] [-cache 1024]
 //	        [-parallel N] [-kb file.nt] [-data-dir dir] [-update-token T]
 //	        [-drain 15s] [-extensions]
+//	        [-adaptive-admission] [-admission-target 500ms]
+//	        [-admission-min 1] [-admission-max N] [-cost-per-row D]
+//	        [-chaos spec] [-chaos-seed N]
 //
 // The listener comes up immediately and answers 503 (with /healthz
 // alive) while the pipeline warms up; with -data-dir the durable state
 // is recovered from the newest valid snapshot segment plus the
-// write-ahead log tail before the first request is served. See
-// cmd/qaserve/README.md for the endpoint contracts.
+// write-ahead log tail before the first request is served. A shutdown
+// signal during the warmup aborts the boot at the next step boundary
+// and still closes whatever was opened. On shutdown the gate drains:
+// new requests answer 503 + Retry-After while in-flight ones finish.
+// See cmd/qaserve/README.md for the endpoint contracts and the
+// resilience model.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/qaserve"
@@ -39,7 +47,14 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request pipeline timeout (0 = none)")
-	maxInflight := flag.Int("max-inflight", 64, "max concurrently served requests; excess answers 503 (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently served requests; excess answers 503 (0 = unlimited; with -adaptive-admission: the starting limit)")
+	adaptive := flag.Bool("adaptive-admission", false, "replace the fixed in-flight cap with the latency-driven AIMD limiter (sheds batch work first, cache-served requests last)")
+	admissionTarget := flag.Duration("admission-target", 0, "latency target the adaptive limiter steers toward (0 = 500ms)")
+	admissionMin := flag.Int("admission-min", 0, "adaptive limit floor (0 = 1)")
+	admissionMax := flag.Int("admission-max", 0, "adaptive limit ceiling (0 = 4x the starting limit)")
+	costPerRow := flag.Duration("cost-per-row", 0, "estimated execution cost per candidate result row; requests whose estimate exceeds the remaining deadline budget are shed with 503 (0 = disabled)")
+	chaosSpec := flag.String("chaos", "", "arm fault injection: comma-separated point:kind:prob[:latency[:limit]] rules, e.g. stage.answer:error:0.1 (see internal/chaos)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos injector's random source")
 	maxBatch := flag.Int("max-batch", 64, "max questions per /v1/answer/batch request")
 	batchParallel := flag.Int("batch-parallel", 0, "workers a batch request fans its questions across (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", 1024, "answer cache entries, keyed on normalized question text (0 = disabled)")
@@ -52,6 +67,22 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	extensions := flag.Bool("extensions", false, "enable the future-work boolean/aggregation/superlative extensions")
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "qaserve:", err)
+		os.Exit(1)
+	}
+
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		rules, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fail(err)
+		}
+		injector = chaos.New(*chaosSeed, rules...)
+		fmt.Fprintf(os.Stderr, "qaserve: CHAOS ARMED (%d rules, seed %d) — do not run in production\n",
+			len(rules), *chaosSeed)
+	}
 
 	// Listen before the (slow) pipeline build: the gate answers
 	// /healthz 200 and everything else 503 until the handover, so
@@ -70,101 +101,151 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "qaserve:", err)
-		os.Exit(1)
+	// Boot runs off the main goroutine so a shutdown signal during the
+	// slow phases (KB build, pattern mining, WAL recovery) is honored at
+	// the next step boundary instead of only after the server went ready
+	// — and whatever the boot already opened (the WAL manager) is still
+	// handed back for a clean close. The boot goroutine itself never
+	// calls os.Exit; it reports through bootCh.
+	type bootResult struct {
+		srv     *qaserve.Server
+		manager *wal.Manager
+		err     error
 	}
+	bootCh := make(chan bootResult, 1)
+	go func() {
+		var res bootResult
+		defer func() { bootCh <- res }()
 
-	cfg := core.DefaultConfig()
-	cfg.Parallelism = *parallel
-	cfg.CacheSize = *cacheSize
-	cfg.NegativeTTL = *negTTL
-	if *extensions {
-		cfg.EnableBoolean = true
-		cfg.EnableAggregation = true
-		cfg.EnableSuperlatives = true
-	}
+		cfg := core.DefaultConfig()
+		cfg.Parallelism = *parallel
+		cfg.CacheSize = *cacheSize
+		cfg.NegativeTTL = *negTTL
+		cfg.CostNanosPerRow = int(costPerRow.Nanoseconds())
+		if *extensions {
+			cfg.EnableBoolean = true
+			cfg.EnableAggregation = true
+			cfg.EnableSuperlatives = true
+		}
 
-	// Source the KB: recovered durable state beats -kb beats built-in.
-	var rec *wal.Recovery
-	if *dataDir != "" {
-		var err error
-		rec, err = wal.Recover(*dataDir, wal.Options{})
-		if err != nil {
-			fail(fmt.Errorf("recovering %s: %w", *dataDir, err))
+		// Source the KB: recovered durable state beats -kb beats built-in.
+		var rec *wal.Recovery
+		if *dataDir != "" {
+			var err error
+			rec, err = wal.Recover(*dataDir, wal.Options{Chaos: injector})
+			if err != nil {
+				res.err = fmt.Errorf("recovering %s: %w", *dataDir, err)
+				return
+			}
 		}
-	}
-	switch {
-	case rec != nil && rec.Exists:
-		if *kbPath != "" {
-			fmt.Fprintf(os.Stderr, "qaserve: %s holds durable state; ignoring -kb %s\n", *dataDir, *kbPath)
+		switch {
+		case rec != nil && rec.Exists:
+			if *kbPath != "" {
+				fmt.Fprintf(os.Stderr, "qaserve: %s holds durable state; ignoring -kb %s\n", *dataDir, *kbPath)
+			}
+			loaded, err := kb.FromTriples(rec.Triples)
+			if err != nil {
+				res.err = fmt.Errorf("rebuilding KB from %s: %w", *dataDir, err)
+				return
+			}
+			cfg.KB = loaded
+			fmt.Fprintf(os.Stderr, "qaserve: recovered %d triples at generation %d (segment %d + %d log records)\n",
+				len(rec.Triples), rec.Gen, rec.SegmentGen, rec.Records)
+		case *kbPath != "":
+			loaded, err := kb.LoadFile(*kbPath)
+			if err != nil {
+				res.err = err
+				return
+			}
+			cfg.KB = loaded
+		case rec != nil:
+			// Fresh data dir, no -kb: bootstrap a private copy of the
+			// built-in KB (the shared default must never be mutated).
+			cfg.KB = kb.Build(kb.DefaultConfig())
 		}
-		loaded, err := kb.FromTriples(rec.Triples)
-		if err != nil {
-			fail(fmt.Errorf("rebuilding KB from %s: %w", *dataDir, err))
+		if ctx.Err() != nil {
+			return // signal during recovery: nothing opened yet, stop here
 		}
-		cfg.KB = loaded
-		fmt.Fprintf(os.Stderr, "qaserve: recovered %d triples at generation %d (segment %d + %d log records)\n",
-			len(rec.Triples), rec.Gen, rec.SegmentGen, rec.Records)
-	case *kbPath != "":
-		loaded, err := kb.LoadFile(*kbPath)
-		if err != nil {
-			fail(err)
-		}
-		cfg.KB = loaded
-	case rec != nil:
-		// Fresh data dir, no -kb: bootstrap a private copy of the
-		// built-in KB (the shared default must never be mutated).
-		cfg.KB = kb.Build(kb.DefaultConfig())
-	}
 
-	fmt.Fprintf(os.Stderr, "qaserve: building pipeline (mining patterns)...\n")
-	start := time.Now()
-	sys := core.New(cfg)
-	fmt.Fprintf(os.Stderr, "qaserve: pipeline ready in %v (%d triples)\n",
-		time.Since(start).Round(time.Millisecond), sys.KB.Store.Len())
+		fmt.Fprintf(os.Stderr, "qaserve: building pipeline (mining patterns)...\n")
+		start := time.Now()
+		sys := core.New(cfg)
+		fmt.Fprintf(os.Stderr, "qaserve: pipeline ready in %v (%d triples)\n",
+			time.Since(start).Round(time.Millisecond), sys.KB.Store.Len())
+		if ctx.Err() != nil {
+			return // signal during the build: the WAL is still unopened
+		}
 
-	// Attach durability: from here the manager is the store's only
-	// writer, every /v1/update batch is fsynced to the WAL before it is
-	// applied, and the log auto-compacts into snapshot segments.
+		// Attach durability: from here the manager is the store's only
+		// writer, every /v1/update batch is fsynced to the WAL before it
+		// is applied, and the log auto-compacts into snapshot segments.
+		if rec != nil {
+			manager, err := rec.Open(sys.KB.Store)
+			if err != nil {
+				res.err = fmt.Errorf("opening WAL in %s: %w", *dataDir, err)
+				return
+			}
+			res.manager = manager
+		}
+
+		token := *updateToken
+		if token == "" {
+			token = os.Getenv("QASERVE_UPDATE_TOKEN")
+		}
+		scfg := qaserve.Config{
+			Sys:               sys,
+			RequestTimeout:    *timeout,
+			MaxInFlight:       *maxInflight,
+			AdaptiveAdmission: *adaptive,
+			AdmissionTarget:   *admissionTarget,
+			AdmissionMin:      *admissionMin,
+			AdmissionMax:      *admissionMax,
+			Chaos:             injector,
+			MaxBatch:          *maxBatch,
+			BatchParallelism:  *batchParallel,
+			UpdateToken:       token,
+			UpdateTimeout:     *updateTimeout,
+		}
+		if res.manager != nil {
+			scfg.Updater = res.manager
+		}
+		res.srv = qaserve.New(scfg)
+	}()
+
 	var manager *wal.Manager
-	if rec != nil {
-		var err error
-		manager, err = rec.Open(sys.KB.Store)
-		if err != nil {
-			fail(fmt.Errorf("opening WAL in %s: %w", *dataDir, err))
-		}
-	}
-
-	token := *updateToken
-	if token == "" {
-		token = os.Getenv("QASERVE_UPDATE_TOKEN")
-	}
-	scfg := qaserve.Config{
-		Sys:              sys,
-		RequestTimeout:   *timeout,
-		MaxInFlight:      *maxInflight,
-		MaxBatch:         *maxBatch,
-		BatchParallelism: *batchParallel,
-		UpdateToken:      token,
-		UpdateTimeout:    *updateTimeout,
-	}
-	if manager != nil {
-		scfg.Updater = manager
-	}
-	srv := qaserve.New(scfg)
-	gate.SetReady(srv.Handler())
-	fmt.Fprintf(os.Stderr, "qaserve: ready\n")
-
 	select {
 	case err := <-errCh:
 		fail(err)
 	case <-ctx.Done():
+		// Signal before the boot finished: turn the gate straight to
+		// draining (nothing real is in flight yet), let the boot reach
+		// its next step boundary, and close whatever it opened.
+		fmt.Fprintln(os.Stderr, "qaserve: shutdown signal during warmup; aborting startup")
+		gate.SetDraining()
+		b := <-bootCh
+		if b.err != nil {
+			fmt.Fprintln(os.Stderr, "qaserve:", b.err)
+		}
+		manager = b.manager
+	case b := <-bootCh:
+		if b.err != nil {
+			fail(b.err)
+		}
+		manager = b.manager
+		gate.SetReady(b.srv.Handler())
+		fmt.Fprintf(os.Stderr, "qaserve: ready\n")
+		select {
+		case err := <-errCh:
+			fail(err)
+		case <-ctx.Done():
+		}
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// close the WAL (final fsync + checkpoint segment) once no update
-	// can still be running.
+	// Graceful shutdown: turn new requests away (503 + Retry-After via
+	// the draining gate), drain in-flight requests, then close the WAL
+	// (final fsync + checkpoint segment) once no update can still be
+	// running.
+	gate.SetDraining()
 	fmt.Fprintf(os.Stderr, "qaserve: shutting down (draining up to %v)...\n", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

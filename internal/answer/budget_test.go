@@ -1,0 +1,52 @@
+package answer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// TestBudgetShedsBeforeExecution: with a cost model that makes any
+// fan-out unaffordable, a deadline-carrying extraction fails fast with
+// the typed budget error and no candidate ever executes.
+func TestBudgetShedsBeforeExecution(t *testing.T) {
+	k, _ := setup(t)
+	cfg := DefaultConfig()
+	cfg.CostNanosPerRow = int(time.Hour)
+	ex := New(k, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_, err := ex.ExtractCtx(ctx, mapped(t, "Where did Abraham Lincoln die?"))
+	var be *pipeline.BudgetError
+	if !errors.As(err, &be) || !errors.Is(err, pipeline.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want *pipeline.BudgetError", err)
+	}
+	if be.Stage != "answer" || be.Estimated <= be.Remaining {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+}
+
+// TestBudgetGateNeedsBothDeadlineAndCostModel: the gate is inert
+// without a deadline (batch CLI runs) and without a cost model (the
+// default config), so default behavior is unchanged.
+func TestBudgetGateNeedsBothDeadlineAndCostModel(t *testing.T) {
+	k, _ := setup(t)
+	cfg := DefaultConfig()
+	cfg.CostNanosPerRow = int(time.Hour)
+	ex := New(k, cfg)
+	res, err := ex.ExtractCtx(context.Background(), mapped(t, "Where did Abraham Lincoln die?"))
+	if err != nil || !res.Answered() {
+		t.Fatalf("no-deadline extraction failed: res=%v err=%v", res, err)
+	}
+
+	ex = New(k, DefaultConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err = ex.ExtractCtx(ctx, mapped(t, "Where did Abraham Lincoln die?"))
+	if err != nil || !res.Answered() {
+		t.Fatalf("cost-model-off extraction failed: res=%v err=%v", res, err)
+	}
+}

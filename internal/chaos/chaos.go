@@ -1,0 +1,342 @@
+// Package chaos is the project's deterministic fault-injection
+// harness: named fault points at pipeline stage boundaries and WAL
+// manager operations draw from a seeded random source and inject
+// latency, typed errors or panics according to a configured rule set.
+//
+// The harness exists to move the discipline PR 6 established at the
+// filesystem layer (internal/wal/faultfs) up into the serving stack:
+// the chaos soak test replays mixed question/update/batch workloads
+// with faults firing at every layer boundary and asserts the
+// resilience invariants — no goroutine leaks, acknowledged commits
+// durable, recovery to healthy once faults stop, cached reads
+// available throughout overload.
+//
+// # Fault points
+//
+// A fault point is a named call site: code under test calls
+// Injector.Hit("wal.append") (or, on request paths where the injector
+// travels in the context, chaos.HitCtx(ctx, "stage.answer")) and acts
+// on the returned error. Hit is nil-receiver-safe and O(1) when
+// disabled, so production code keeps its fault points unconditionally.
+// The registered points are:
+//
+//	stage.<name>   every pipeline stage boundary (internal/pipeline)
+//	wal.apply      Manager.Apply entry, before the log append
+//	wal.append     logFile.append, before any byte is written
+//	wal.compact    compactLocked entry, before the segment write
+//
+// Every WAL fault point sits strictly before the operation's first
+// mutation. On the commit path (wal.apply, wal.append) that means
+// before any log byte — and so before the commit fsync — so an
+// injected fault can only turn a commit into a clean, unacknowledged
+// failure, never into a durable-but-unacknowledged record (the walfs
+// qalint analyzer machine-checks that ordering; see INVARIANTS.md).
+// wal.compact only ever fails the checkpoint, which is best-effort at
+// every call site: the fsynced log still proves every committed batch.
+//
+// # Determinism
+//
+// All randomness comes from one seeded math/rand source guarded by the
+// injector's mutex: a fixed seed and a fixed call sequence reproduce
+// the exact same injection decisions. Concurrent callers serialise on
+// the mutex, so per-goroutine sequences depend on scheduling — the
+// soak test asserts invariants, not exact fault placements, and unit
+// tests drive the injector sequentially.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+const (
+	// KindLatency sleeps for the rule's duration, then lets the
+	// operation proceed.
+	KindLatency Kind = iota
+	// KindError makes the fault point return an *InjectedError.
+	KindError
+	// KindPanic makes the fault point panic with an *InjectedPanic
+	// value (the pipeline's stage-boundary recovery turns it into a
+	// typed error; anything unrecovered is a test failure by design).
+	KindPanic
+)
+
+// String names the kind (used in metrics labels and specs).
+func (k Kind) String() string {
+	switch k {
+	case KindLatency:
+		return "latency"
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	default:
+		return "unknown"
+	}
+}
+
+// InjectedError is the error a KindError rule returns from its fault
+// point. Callers that must distinguish injected faults from organic
+// ones (the soak test's bookkeeping) use errors.As.
+type InjectedError struct{ Point string }
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected error at %s", e.Point)
+}
+
+// InjectedPanic is the value a KindPanic rule panics with.
+type InjectedPanic struct{ Point string }
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("chaos: injected panic at %s", p.Point)
+}
+
+// Rule arms one fault point (or point prefix) with one fault kind.
+type Rule struct {
+	// Point is the fault point name the rule matches. A trailing '*'
+	// matches any point with the prefix ("stage.*").
+	Point string
+	// Kind is the fault to inject when the rule fires.
+	Kind Kind
+	// Prob is the per-hit firing probability in [0, 1].
+	Prob float64
+	// Latency is the injected delay for KindLatency rules.
+	Latency time.Duration
+	// Limit caps the number of times the rule fires (0 = unlimited).
+	Limit int
+}
+
+func (r Rule) matches(point string) bool {
+	if strings.HasSuffix(r.Point, "*") {
+		return strings.HasPrefix(point, strings.TrimSuffix(r.Point, "*"))
+	}
+	return r.Point == point
+}
+
+// Injection is one row of the injector's cumulative counts.
+type Injection struct {
+	Point string
+	Kind  Kind
+	Count uint64
+}
+
+// Injector owns a rule set and a seeded random source. The zero value
+// and the nil pointer are inert (Hit returns nil); build a live one
+// with New. Safe for concurrent use.
+type Injector struct {
+	enabled atomic.Bool
+	sleep   func(time.Duration)
+
+	mu     sync.Mutex
+	rng    *rand.Rand         // guarded by mu
+	rules  []Rule             // guarded by mu
+	fired  []int              // per-rule fire count, for Limit; guarded by mu
+	counts map[string]*uint64 // "point\x00kind" -> count; guarded by mu
+}
+
+// New builds an enabled injector over a seeded random source.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		sleep:  time.Sleep,
+		rng:    rand.New(rand.NewSource(seed)),
+		rules:  rules,
+		fired:  make([]int, len(rules)),
+		counts: map[string]*uint64{},
+	}
+	in.enabled.Store(true)
+	return in
+}
+
+// WithSleep replaces the latency sleeper (tests inject a recording
+// stub so latency rules do not stall the suite). Returns the injector.
+func (in *Injector) WithSleep(sleep func(time.Duration)) *Injector {
+	in.sleep = sleep
+	return in
+}
+
+// Enable re-arms a disabled injector.
+func (in *Injector) Enable() {
+	if in != nil {
+		in.enabled.Store(true)
+	}
+}
+
+// Disable stops all injection — the "faults stop" transition the soak
+// test drives; the server must return to healthy from here.
+func (in *Injector) Disable() {
+	if in != nil {
+		in.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether the injector is currently armed.
+func (in *Injector) Enabled() bool { return in != nil && in.enabled.Load() }
+
+// Hit evaluates the rule set at a named fault point. It returns the
+// injected error for KindError rules, panics for KindPanic rules,
+// sleeps and returns nil for KindLatency rules, and returns nil — in
+// O(1), without touching the mutex — on a nil, disabled or non-matching
+// injector.
+func (in *Injector) Hit(point string) error {
+	if in == nil || !in.enabled.Load() {
+		return nil
+	}
+	kind, latency, fired := KindLatency, time.Duration(0), false
+	in.mu.Lock()
+	for i, r := range in.rules {
+		if !r.matches(point) || (r.Limit > 0 && in.fired[i] >= r.Limit) {
+			continue
+		}
+		if in.rng.Float64() >= r.Prob {
+			continue
+		}
+		in.fired[i]++
+		kind, latency, fired = r.Kind, r.Latency, true
+		key := point + "\x00" + r.Kind.String()
+		c := in.counts[key]
+		if c == nil {
+			c = new(uint64)
+			in.counts[key] = c
+		}
+		*c++
+		break // first matching rule wins; later rules stay deterministic via the draw above
+	}
+	in.mu.Unlock()
+	if !fired {
+		return nil
+	}
+	switch kind {
+	case KindLatency:
+		in.sleep(latency)
+		return nil
+	case KindError:
+		return &InjectedError{Point: point}
+	default:
+		panic(&InjectedPanic{Point: point})
+	}
+}
+
+// Snapshot returns the cumulative injection counts, sorted by point
+// then kind (the qaserve /metrics endpoint renders these).
+func (in *Injector) Snapshot() []Injection {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	out := make([]Injection, 0, len(in.counts))
+	for key, c := range in.counts {
+		point, kindName, _ := strings.Cut(key, "\x00")
+		var k Kind
+		switch kindName {
+		case "error":
+			k = KindError
+		case "panic":
+			k = KindPanic
+		default:
+			k = KindLatency
+		}
+		out = append(out, Injection{Point: point, Kind: k, Count: *c})
+	}
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Point != out[j].Point {
+			return out[i].Point < out[j].Point
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// ctxKey carries an injector in a request context.
+type ctxKey struct{}
+
+// With returns a context carrying the injector; request paths
+// (qaserve) attach it once and every fault point below reads it with
+// HitCtx. A nil injector returns ctx unchanged.
+func With(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// FromContext returns the context's injector (nil when none is
+// attached — the common production case).
+func FromContext(ctx context.Context) *Injector {
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}
+
+// HitCtx evaluates the context's injector (if any) at a fault point.
+func HitCtx(ctx context.Context, point string) error {
+	return FromContext(ctx).Hit(point)
+}
+
+// ParseSpec parses a comma-separated rule list of the form
+//
+//	point:kind:prob[:latency[:limit]]
+//
+// e.g. "stage.answer:error:0.2,wal.append:latency:1:5ms,stage.*:panic:0.01::3".
+// kind is latency|error|panic; prob is a float in [0,1]; latency (for
+// latency rules) is a Go duration; limit caps the rule's firings.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 3 || len(fields) > 5 {
+			return nil, fmt.Errorf("chaos: rule %q: want point:kind:prob[:latency[:limit]]", part)
+		}
+		r := Rule{Point: fields[0]}
+		switch fields[1] {
+		case "latency":
+			r.Kind = KindLatency
+		case "error":
+			r.Kind = KindError
+		case "panic":
+			r.Kind = KindPanic
+		default:
+			return nil, fmt.Errorf("chaos: rule %q: unknown kind %q (want latency|error|panic)", part, fields[1])
+		}
+		prob, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("chaos: rule %q: probability must be a float in [0,1]", part)
+		}
+		r.Prob = prob
+		if len(fields) >= 4 && fields[3] != "" {
+			d, err := time.ParseDuration(fields[3])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("chaos: rule %q: bad latency %q", part, fields[3])
+			}
+			r.Latency = d
+		}
+		if len(fields) == 5 && fields[4] != "" {
+			n, err := strconv.Atoi(fields[4])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("chaos: rule %q: bad limit %q", part, fields[4])
+			}
+			r.Limit = n
+		}
+		if r.Kind == KindLatency && r.Latency == 0 {
+			return nil, fmt.Errorf("chaos: rule %q: latency rules need a duration", part)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("chaos: empty spec")
+	}
+	return rules, nil
+}

@@ -34,6 +34,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"strings"
 	"sync"
@@ -85,6 +86,14 @@ type Config struct {
 	// GOMAXPROCS, 1 = sequential). Answers are identical at every
 	// setting; see internal/answer's commit protocol.
 	Parallelism int
+
+	// CostNanosPerRow enables deadline-aware early shedding in the
+	// answer stage: a request carrying a deadline is shed with
+	// StatusOverBudget when the fan-out's compile-time cost estimate
+	// (summed exact base cardinalities × this factor) exceeds the
+	// remaining budget. 0 (the default) disables the check; see
+	// answer.Config.CostNanosPerRow.
+	CostNanosPerRow int
 
 	// CacheSize enables the answer cache when > 0: a bounded, sharded
 	// LRU over normalized question text mounted as the pipeline's first
@@ -189,6 +198,7 @@ func New(cfg Config) *System {
 	ansCfg.EnableBoolean = cfg.EnableBoolean
 	ansCfg.EnableAggregation = cfg.EnableAggregation
 	ansCfg.Parallelism = cfg.Parallelism
+	ansCfg.CostNanosPerRow = cfg.CostNanosPerRow
 	s.extractor = answer.New(k, ansCfg)
 	s.triplexOpts = triplex.Options{Superlatives: cfg.EnableSuperlatives}
 
@@ -221,6 +231,16 @@ const (
 	// StatusCanceled: the request context was cancelled or its deadline
 	// expired before the pipeline completed; Err carries ctx.Err().
 	StatusCanceled
+	// StatusOverBudget: the answer stage's compile-time cost estimate
+	// exceeded the deadline budget remaining at stage entry, so the
+	// fan-out was shed before it started (Config.CostNanosPerRow); Err
+	// carries the *pipeline.BudgetError. Deadline-dependent, so never
+	// cached.
+	StatusOverBudget
+	// StatusInternal: a stage failed internally — a panic recovered at
+	// the stage boundary or an injected chaos fault; Err carries the
+	// typed error. Never cached.
+	StatusInternal
 )
 
 // String names the status.
@@ -238,6 +258,10 @@ func (s Status) String() string {
 		return "no type-conforming answer"
 	case StatusCanceled:
 		return "canceled"
+	case StatusOverBudget:
+		return "over budget"
+	case StatusInternal:
+		return "internal error"
 	default:
 		return "unknown"
 	}
@@ -317,6 +341,22 @@ func (s *System) CacheStats() (hits, misses uint64) {
 	return s.cache.Stats()
 }
 
+// CacheEligible reports whether the answer cache currently holds a
+// live entry for the question at the store's current generation — i.e.
+// whether AnswerCtx would (absent a concurrent write racing the probe)
+// be served by the cache stage without entering the fan-out. The
+// serving layer's admission control uses it to classify requests:
+// cache-served answers cost microseconds, so they are the last work an
+// overloaded server sheds. The probe never touches the cache's hit or
+// miss statistics or its LRU order. Always false when the cache is
+// disabled.
+func (s *System) CacheEligible(question string) bool {
+	if s.cache == nil {
+		return false
+	}
+	return s.cache.Peek(qacache.Normalize(question), s.KB.Store.Snapshot().Gen())
+}
+
 // --- The pipeline stages ---
 
 // cacheStage serves a request from the answer cache. Mounted only when
@@ -388,6 +428,9 @@ func (st answerStage) Run(ctx context.Context, res *Result, tr *StageTrace) erro
 	// snapshot AnswerCtx pinned at request entry.
 	ans, err := st.s.extractor.ExtractSessionCtx(ctx, res.Mapping, sparql.NewSnapshotSession(res.snap))
 	if err != nil {
+		if errors.Is(err, pipeline.ErrBudgetExceeded) {
+			return err // early shed: AnswerCtx maps it to StatusOverBudget
+		}
 		if ctx.Err() != nil {
 			return ctx.Err() // cancellation: surfaced by pipeline.Run
 		}
@@ -440,7 +483,19 @@ func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
 	// snapshots against a store that keeps writing.
 	res.snap = nil
 	if err != nil {
-		res.Status = StatusCanceled
+		// None of these outcomes is cached: they depend on the request's
+		// deadline (budget, cancellation) or on transient faults, not on
+		// the question.
+		switch {
+		case errors.Is(err, pipeline.ErrBudgetExceeded):
+			res.Status = StatusOverBudget
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			res.Status = StatusCanceled
+		default:
+			// A recovered stage panic (*pipeline.PanicError) or an
+			// injected chaos fault.
+			res.Status = StatusInternal
+		}
 		res.Err = err
 		return res
 	}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/pipeline"
+)
+
+// Tests for the PR 8 resilience semantics: over-budget shedding,
+// internal-fault classification, and the rule that neither outcome is
+// ever cached (both depend on the request, not the question).
+
+const lincolnQ = "Where did Abraham Lincoln die?"
+
+func resilientSystem() *System {
+	cfg := DefaultConfig()
+	cfg.CacheSize = 64
+	cfg.CostNanosPerRow = int(time.Hour) // any fan-out estimate exceeds any deadline
+	return New(cfg)
+}
+
+func TestOverBudgetStatusAndNoCaching(t *testing.T) {
+	s := resilientSystem()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res := s.AnswerCtx(ctx, lincolnQ)
+	if res.Status != StatusOverBudget {
+		t.Fatalf("status = %v, want over budget", res.Status)
+	}
+	if !errors.Is(res.Err, pipeline.ErrBudgetExceeded) {
+		t.Fatalf("Err = %v, want ErrBudgetExceeded", res.Err)
+	}
+	// The answer stage's trace entry records the typed error and the
+	// budget that remained at entry.
+	st := res.Trace.Stage(StageAnswer)
+	if st == nil || st.Err == "" || st.Remaining <= 0 {
+		t.Fatalf("answer stage trace = %+v", st)
+	}
+
+	// A deadline-free retry of the same question must compute a real
+	// answer: the shed outcome was not cached.
+	res = s.AnswerCtx(context.Background(), lincolnQ)
+	if res.Status != StatusAnswered || res.CacheHit() {
+		t.Fatalf("retry: status = %v, cacheHit = %v", res.Status, res.CacheHit())
+	}
+}
+
+func TestInjectedFaultIsInternalAndNotCached(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheSize = 64
+	s := New(cfg)
+
+	in := chaos.New(7, chaos.Rule{Point: "stage.answer", Kind: chaos.KindError, Prob: 1, Limit: 1})
+	ctx := chaos.With(context.Background(), in)
+	res := s.AnswerCtx(ctx, lincolnQ)
+	if res.Status != StatusInternal {
+		t.Fatalf("status = %v, want internal error", res.Status)
+	}
+	var ie *chaos.InjectedError
+	if !errors.As(res.Err, &ie) {
+		t.Fatalf("Err = %v, want *chaos.InjectedError", res.Err)
+	}
+
+	// The rule is exhausted (Limit 1): the same context must now answer,
+	// and from computation, not from a poisoned cache entry.
+	res = s.AnswerCtx(ctx, lincolnQ)
+	if res.Status != StatusAnswered || res.CacheHit() {
+		t.Fatalf("retry: status = %v, cacheHit = %v", res.Status, res.CacheHit())
+	}
+}
+
+func TestRecoveredPanicIsInternal(t *testing.T) {
+	s := Default()
+	in := chaos.New(7, chaos.Rule{Point: "stage.triplex", Kind: chaos.KindPanic, Prob: 1})
+	res := s.AnswerCtx(chaos.With(context.Background(), in), lincolnQ)
+	if res.Status != StatusInternal {
+		t.Fatalf("status = %v, want internal error", res.Status)
+	}
+	var pe *pipeline.PanicError
+	if !errors.As(res.Err, &pe) || pe.Stage != StageTriplex {
+		t.Fatalf("Err = %v, want *pipeline.PanicError at triplex", res.Err)
+	}
+}

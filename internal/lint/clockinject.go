@@ -7,17 +7,22 @@ import (
 
 // ClockInject forbids reading the process clock in packages whose
 // behaviour must be deterministic under test: qacache expiry, WAL
-// commit/recovery and store generations are all driven by injected
-// clocks (the PR 6 WithClock design), so a stray time.Now would make
-// TTL and recovery behaviour untestable without sleeps.
+// commit/recovery, store generations, the AIMD admission limiter's
+// cooldown window and the chaos injector's fault schedule are all
+// driven by injected clocks (the PR 6 WithClock design; the PR 8
+// admission.Options.Now), so a stray time.Now would make TTL,
+// recovery and shedding behaviour untestable without sleeps.
 var ClockInject = &Analyzer{
 	Name: "clockinject",
-	Doc:  "no time.Now/Since/Until in internal/qacache, internal/wal or internal/store — use the injected clock",
+	Doc:  "no time.Now/Since/Until in internal/{qacache,wal,store,admission,chaos} — use the injected clock",
 	Run:  runClockInject,
 }
 
 // clockInjectScope is where the invariant applies.
-var clockInjectScope = []string{"internal/qacache", "internal/wal", "internal/store"}
+var clockInjectScope = []string{
+	"internal/qacache", "internal/wal", "internal/store",
+	"internal/admission", "internal/chaos",
+}
 
 // wallClockFuncs are the time functions that read the process clock.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}

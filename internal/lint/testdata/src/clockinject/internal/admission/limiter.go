@@ -1,0 +1,12 @@
+// Package admission joined the clockinject scope in PR 8: the AIMD
+// limiter's decrease cooldown is a time window, and tests pin it by
+// injecting Options.Now — a direct clock read here would bring the
+// sleeps back.
+package admission
+
+import "time"
+
+// stamp reads the process clock instead of the injected one.
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in a deterministic package`
+}

@@ -1,0 +1,11 @@
+// Package chaos joined the clockinject scope in PR 8: seeded fault
+// schedules must replay identically, so the injector may not consult
+// the process clock.
+package chaos
+
+import "time"
+
+// remaining measures against the process clock.
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time\.Until in a deterministic package`
+}

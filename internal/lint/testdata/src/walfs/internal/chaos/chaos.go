@@ -1,0 +1,10 @@
+// Package chaos is a stub of the repo's fault-injection package, just
+// enough for the walfs testdata to type-check Injector.Hit calls: the
+// analyzer resolves fault points by package path, not by name alone.
+package chaos
+
+// Injector is the stub fault injector.
+type Injector struct{}
+
+// Hit is the stub fault point.
+func (in *Injector) Hit(point string) error { return nil }

@@ -3,6 +3,8 @@ package wal
 import (
 	"errors"
 	"os"
+
+	"repro/internal/chaos"
 )
 
 // logFile is a minimal append-only log over the File abstraction.
@@ -50,4 +52,58 @@ func (l *logFile) ackEarly(rec []byte) error {
 func (l *logFile) ackUnsynced(rec []byte) error { // want `documented as the commit point but never calls Sync`
 	_, err := l.f.Write(rec)
 	return err
+}
+
+// commitChaosed fires its fault point strictly before the first byte
+// and the fsync — the commit point, chaos-wrapped right.
+func (l *logFile) commitChaosed(in *chaos.Injector, rec []byte) error {
+	if err := in.Hit("wal.append"); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// commitLateFault injects after the fsync — wrong: by then the record
+// is durable, so the injected "failure" errors a committed write. This
+// function is the commit point.
+func (l *logFile) commitLateFault(in *chaos.Injector, rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := in.Hit("wal.append"); err != nil { // want `chaos fault point after the first Sync`
+		return err
+	}
+	return nil
+}
+
+// counters is a local type whose Hit method is bookkeeping, not fault
+// injection.
+type counters struct{}
+
+// Hit bumps a counter.
+func (counters) Hit(string) error { return nil }
+
+// commitCounted calls a non-chaos Hit after the fsync — allowed: only
+// internal/chaos calls are fault points. This function is the commit
+// point.
+func (l *logFile) commitCounted(c counters, rec []byte) error {
+	if _, err := l.f.Write(rec); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := c.Hit("wal.append"); err != nil {
+		return err
+	}
+	return nil
 }

@@ -19,10 +19,17 @@ import (
 //     contains "commit point") must call Sync before any success
 //     return — an acknowledgment that did not reach stable storage is
 //     the exact durability hole the PR 6 fault tests exist to rule
-//     out.
+//     out;
+//  3. inside a commit-point function, chaos fault points
+//     (chaos.Injector.Hit / chaos.HitCtx) must come lexically before
+//     the first Sync — a fault injected after the commit fsync would
+//     fail a commit that already reached stable storage, making the
+//     soak tests' "every acked commit is durable" and its
+//     contrapositive ("every errored commit left no partial state")
+//     both unfalsifiable.
 var WalFS = &Analyzer{
 	Name: "walfs",
-	Doc:  "internal/wal: no raw os file ops outside fs.go; the commit point must Sync before acknowledging",
+	Doc:  "internal/wal: no raw os file ops outside fs.go; the commit point must Sync before acknowledging, with chaos fault points before the Sync",
 	Run:  runWalFS,
 }
 
@@ -68,19 +75,28 @@ func runWalFS(p *Pass) {
 }
 
 // checkSyncBeforeAck verifies, lexically, that every success return of
-// the commit-point function is preceded by a Sync call. Source order is
-// a conservative approximation of domination here: the commit functions
+// the commit-point function is preceded by a Sync call, and that every
+// chaos fault point fires before the first Sync. Source order is a
+// conservative approximation of domination here: the commit functions
 // are straight-line append/ack sequences, and a false positive is
 // waivable with a reason.
 func checkSyncBeforeAck(p *Pass, fd *ast.FuncDecl) {
 	var syncs []token.Pos
+	var hits []token.Pos
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
-			syncs = append(syncs, call.Pos())
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Sync":
+				syncs = append(syncs, call.Pos())
+			case "Hit", "HitCtx":
+				if isChaosFunc(p, sel) {
+					hits = append(hits, call.Pos())
+				}
+			}
 		}
 		return true
 	})
@@ -89,6 +105,13 @@ func checkSyncBeforeAck(p *Pass, fd *ast.FuncDecl) {
 			"%s is documented as the commit point but never calls Sync: an acknowledged commit must be on stable storage",
 			funcDisplayName(fd))
 		return
+	}
+	for _, h := range hits {
+		if h > syncs[0] {
+			p.Reportf(h,
+				"chaos fault point after the first Sync in commit point %s: a fault injected past the commit fsync fails a commit that is already durable",
+				funcDisplayName(fd))
+		}
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		ret, ok := n.(*ast.ReturnStmt)
@@ -105,6 +128,13 @@ func checkSyncBeforeAck(p *Pass, fd *ast.FuncDecl) {
 			funcDisplayName(fd))
 		return true
 	})
+}
+
+// isChaosFunc reports whether the selector resolves to a function (or
+// method) of the internal/chaos package — a fault point.
+func isChaosFunc(p *Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && pathMatches(fn.Pkg().Path(), "internal/chaos")
 }
 
 // isSuccessReturn reports whether the return acknowledges success: its

@@ -19,17 +19,82 @@
 // Stages record stage-specific observations (candidate counts, cache
 // hits) on the *StageTrace they are handed; timing and error capture
 // are the framework's job.
+//
+// # Resilience
+//
+// Run is the serving layer's isolation boundary. A stage that panics
+// does not take the process (or the request's in-flight slot) down:
+// the panic is recovered at the stage boundary into a typed
+// *PanicError carrying the stage name and stack, recorded on the
+// stage's trace entry and returned like any other stage error. Every
+// stage boundary is also a named chaos fault point ("stage.<name>",
+// evaluated against the injector carried by the request context via
+// internal/chaos), so the soak harness can inject latency, errors and
+// panics exactly where real stages fail.
+//
+// When the request context carries a deadline, Run stamps each stage's
+// trace entry with the budget remaining at stage entry — the number
+// deadline-aware stages (the §2.3 fan-out's compile-time cost check)
+// compare their estimates against. A stage that determines the
+// remaining budget cannot cover its estimated cost fails fast with a
+// typed *BudgetError instead of starting work it cannot finish.
 package pipeline
 
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // ErrStop is the sentinel a Stage returns to finish the pipeline early
 // without error: the state already carries its terminal outcome.
 var ErrStop = errors.New("pipeline: stop")
+
+// ErrBudgetExceeded is the errors.Is target for *BudgetError: a stage
+// declined to start because its compile-time cost estimate exceeds the
+// request's remaining deadline budget.
+var ErrBudgetExceeded = errors.New("pipeline: remaining budget below estimated stage cost")
+
+// BudgetError is the typed fail-fast error for deadline-aware early
+// shedding: the stage never started its work, so no partial state was
+// produced and the request can be answered as shed (503) rather than
+// burning CPU until the deadline kills it mid-flight.
+type BudgetError struct {
+	// Stage is the stage that declined.
+	Stage string
+	// Estimated is the stage's compile-time cost estimate.
+	Estimated time.Duration
+	// Remaining was the budget left when the stage was entered.
+	Remaining time.Duration
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("pipeline: stage %s estimated at %v exceeds the remaining budget %v",
+		e.Stage, e.Estimated, e.Remaining)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) match.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// PanicError is a stage panic recovered at the stage boundary: the
+// request answers 500 with its trace intact instead of the panic
+// unwinding through the serving stack.
+type PanicError struct {
+	// Stage is the stage that panicked.
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pipeline: stage %s panicked: %v", e.Stage, e.Value)
+}
 
 // Stage is one request-scoped pipeline step over state S. Name must be
 // stable (it keys metrics); Run must honour ctx.
@@ -53,6 +118,11 @@ type StageTrace struct {
 	// Err is the stage's terminal error text ("" for success). Set for
 	// both early-stop failure outcomes and cancellation.
 	Err string
+	// Remaining is the deadline budget left when the stage was entered
+	// (0 when the request carries no deadline). Deadline-aware stages
+	// compare their cost estimates against it; the serving layer
+	// exports it for overload diagnosis.
+	Remaining time.Duration
 }
 
 // Trace is the per-request record of every stage that ran, in order.
@@ -92,20 +162,26 @@ func (t *Trace) Total() time.Duration {
 
 // Run drives the stages over state, checking ctx at every stage
 // boundary. It always returns the Trace of the stages that ran; the
-// error is non-nil only for cancellation (ctx's error, observed at a
-// boundary or surfaced by a stage). A stage returning ErrStop ends the
-// pipeline successfully; any other stage error is treated as
-// cancellation-equivalent and returned.
+// error is non-nil for cancellation (ctx's error, observed at a
+// boundary or surfaced by a stage), for a recovered stage panic
+// (*PanicError) and for a chaos fault injected at a stage boundary. A
+// stage returning ErrStop ends the pipeline successfully; any other
+// stage error is returned as-is — callers classify it (context errors
+// mean cancellation, everything else an internal failure).
 func Run[S any](ctx context.Context, stages []Stage[S], state S) (*Trace, error) {
 	tr := &Trace{Stages: make([]StageTrace, 0, len(stages))}
+	deadline, hasDeadline := ctx.Deadline()
 	for _, st := range stages {
 		if err := ctx.Err(); err != nil {
 			return tr, err
 		}
 		tr.Stages = append(tr.Stages, StageTrace{Stage: st.Name()})
 		stt := &tr.Stages[len(tr.Stages)-1]
+		if hasDeadline {
+			stt.Remaining = time.Until(deadline)
+		}
 		start := time.Now()
-		err := st.Run(ctx, state, stt)
+		err := runStage(ctx, st, state, stt)
 		stt.Duration = time.Since(start)
 		if err != nil {
 			if errors.Is(err, ErrStop) {
@@ -116,4 +192,20 @@ func Run[S any](ctx context.Context, stages []Stage[S], state S) (*Trace, error)
 		}
 	}
 	return tr, nil
+}
+
+// runStage executes one stage behind the boundary's chaos fault point
+// and panic isolation: an injected or organic panic is recovered here
+// into a *PanicError, so a failing stage costs its request a 500, not
+// the process.
+func runStage[S any](ctx context.Context, st Stage[S], state S, stt *StageTrace) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Stage: st.Name(), Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := chaos.HitCtx(ctx, "stage."+st.Name()); err != nil {
+		return err
+	}
+	return st.Run(ctx, state, stt)
 }

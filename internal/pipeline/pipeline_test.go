@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/chaos"
 )
 
 // fnStage adapts a func to Stage for tests.
@@ -132,6 +135,99 @@ func TestRunAlreadyCancelled(t *testing.T) {
 	}
 	if len(got) != 0 || len(tr.Stages) != 0 {
 		t.Fatalf("ran despite cancelled ctx: %v / %+v", got, tr.Stages)
+	}
+}
+
+func TestRunRecoversStagePanic(t *testing.T) {
+	var got []string
+	stages := []Stage[*[]string]{
+		appendStage("a"),
+		fnStage{name: "bad", run: func(context.Context, *[]string, *StageTrace) error {
+			panic("kaboom")
+		}},
+		appendStage("never"),
+	}
+	tr, err := Run(context.Background(), stages, &got)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Stage != "bad" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if fmt.Sprint(got) != "[a]" {
+		t.Fatalf("stages after panic ran: %v", got)
+	}
+	if tr.Stages[1].Err == "" {
+		t.Errorf("panicking stage trace did not record the error: %+v", tr.Stages[1])
+	}
+}
+
+func TestRunChaosFaultPointAtStageBoundary(t *testing.T) {
+	in := chaos.New(1, chaos.Rule{Point: "stage.b", Kind: chaos.KindError, Prob: 1})
+	ctx := chaos.With(context.Background(), in)
+	var got []string
+	stages := []Stage[*[]string]{appendStage("a"), appendStage("b"), appendStage("c")}
+	tr, err := Run(ctx, stages, &got)
+	var ie *chaos.InjectedError
+	if !errors.As(err, &ie) || ie.Point != "stage.b" {
+		t.Fatalf("err = %v, want injected error at stage.b", err)
+	}
+	// The fault fires at the boundary, before the stage body runs.
+	if fmt.Sprint(got) != "[a]" {
+		t.Fatalf("stage body ran despite boundary fault: %v", got)
+	}
+	if len(tr.Stages) != 2 || tr.Stages[1].Err == "" {
+		t.Fatalf("trace = %+v", tr.Stages)
+	}
+}
+
+func TestRunChaosPanicIsRecoveredTyped(t *testing.T) {
+	in := chaos.New(1, chaos.Rule{Point: "stage.*", Kind: chaos.KindPanic, Prob: 1})
+	ctx := chaos.With(context.Background(), in)
+	var got []string
+	_, err := Run(ctx, []Stage[*[]string]{appendStage("a")}, &got)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if _, ok := pe.Value.(*chaos.InjectedPanic); !ok {
+		t.Fatalf("recovered value = %v, want *chaos.InjectedPanic", pe.Value)
+	}
+}
+
+func TestRunRecordsRemainingBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var got []string
+	tr, err := Run(ctx, []Stage[*[]string]{appendStage("a"), appendStage("b")}, &got)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range tr.Stages {
+		r := tr.Stages[i].Remaining
+		if r <= 0 || r > time.Minute {
+			t.Errorf("trace[%d].Remaining = %v, want in (0, 1m]", i, r)
+		}
+	}
+
+	// Without a deadline, Remaining stays zero.
+	tr, err = Run(context.Background(), []Stage[*[]string]{appendStage("a")}, &got)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.Stages[0].Remaining != 0 {
+		t.Errorf("Remaining = %v without a deadline", tr.Stages[0].Remaining)
+	}
+}
+
+func TestBudgetErrorMatchesSentinel(t *testing.T) {
+	err := error(&BudgetError{Stage: "answer", Estimated: time.Second, Remaining: time.Millisecond})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("BudgetError does not match ErrBudgetExceeded")
+	}
+	if !strings.Contains(err.Error(), "answer") {
+		t.Fatalf("BudgetError text = %q", err)
 	}
 }
 

@@ -127,6 +127,29 @@ func (c *Cache[V]) Get(key string, gen uint64) (V, bool) {
 	return e.val, true
 }
 
+// Peek reports whether a live entry — stored at exactly generation gen
+// and unexpired — exists for key, without counting a hit or a miss,
+// without bumping the LRU order and without evicting anything. The
+// serving layer's admission control probes the cache with it to
+// classify requests; a probe must not distort the statistics or
+// retention of the cache it is only observing, and a false positive
+// (the entry is evicted between probe and lookup) merely admits one
+// request at the wrong priority.
+func (c *Cache[V]) Peek(key string, gen uint64) bool {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.m[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry[V])
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		return false
+	}
+	return e.gen == gen
+}
+
 // Put stores the value for key at generation gen, evicting the shard's
 // least recently used entry when over capacity. The entry never
 // expires by time (generation staleness still evicts it).

@@ -50,11 +50,16 @@ type metrics struct {
 	requestsBad      atomic.Uint64
 	requestsRejected atomic.Uint64
 	requestsTimeout  atomic.Uint64
+	requestsShed     atomic.Uint64 // deadline-budget sheds (spent at admission, or over the cost model)
+	requestsInternal atomic.Uint64 // 500s: recovered pipeline panics and injected faults
 
-	updatesOK     atomic.Uint64
-	updatesBad    atomic.Uint64
-	updatesDenied atomic.Uint64
-	updatesFailed atomic.Uint64
+	updatesOK       atomic.Uint64
+	updatesBad      atomic.Uint64
+	updatesDenied   atomic.Uint64
+	updatesFailed   atomic.Uint64
+	updatesReadOnly atomic.Uint64 // 501s while the WAL is poisoned (degraded mode)
+
+	panics atomic.Uint64 // handler-level panics caught by the recoverware backstop
 
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
@@ -91,6 +96,8 @@ func (m *metrics) render(sb *strings.Builder) {
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"bad_request\"} %d\n", m.requestsBad.Load())
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"rejected\"} %d\n", m.requestsRejected.Load())
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"timeout\"} %d\n", m.requestsTimeout.Load())
+	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"shed\"} %d\n", m.requestsShed.Load())
+	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"error\"} %d\n", m.requestsInternal.Load())
 
 	fmt.Fprintf(sb, "# HELP qaserve_updates_total SPARQL UPDATE requests by outcome.\n")
 	fmt.Fprintf(sb, "# TYPE qaserve_updates_total counter\n")
@@ -98,6 +105,11 @@ func (m *metrics) render(sb *strings.Builder) {
 	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"bad_request\"} %d\n", m.updatesBad.Load())
 	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"denied\"} %d\n", m.updatesDenied.Load())
 	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"error\"} %d\n", m.updatesFailed.Load())
+	fmt.Fprintf(sb, "qaserve_updates_total{outcome=\"read_only\"} %d\n", m.updatesReadOnly.Load())
+
+	fmt.Fprintf(sb, "# HELP qaserve_panics_total Handler panics recovered by the backstop middleware.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_panics_total counter\n")
+	fmt.Fprintf(sb, "qaserve_panics_total %d\n", m.panics.Load())
 
 	fmt.Fprintf(sb, "# HELP qaserve_cache_requests_total Answer cache lookups by outcome.\n")
 	fmt.Fprintf(sb, "# TYPE qaserve_cache_requests_total counter\n")

@@ -21,13 +21,30 @@
 //	                       pipeline Trace
 //
 // Every request runs under a context derived from the HTTP request's:
-// the configured per-request timeout is attached, so a deadline
-// expiring mid-pipeline cancels candidate queries between join steps
-// and the request answers 504 with status "canceled". A configurable
-// in-flight limit sheds load with 503 before the pipeline is entered.
-// Graceful shutdown is the caller's (cmd/qaserve's) job via
-// http.Server.Shutdown, which drains in-flight requests; the handlers
-// need no extra support for it.
+// the configured per-request timeout — lowered by the client's
+// X-Request-Budget header when one is sent — is attached, so a
+// deadline expiring mid-pipeline cancels candidate queries between
+// join steps and the request answers 504 with status "canceled".
+//
+// # Overload and failure behavior
+//
+// Admission control sheds load with 503 (always carrying a Retry-After
+// hint) before the pipeline is entered: either the static MaxInFlight
+// semaphore, or — with Config.AdaptiveAdmission — the AIMD limiter
+// (internal/admission), which discovers the sustainable concurrency
+// from observed latency and sheds by priority: batch work first,
+// cache-served requests last. Requests whose deadline budget is
+// already spent at admission, or whose estimated execution cost
+// exceeds the remaining budget (core.StatusOverBudget), are shed the
+// same way. Recovered pipeline panics and injected faults answer 500
+// with the trace attached rather than tearing down the connection. A
+// poisoned WAL flips the server into read-only degraded mode: updates
+// answer 501, /readyz reports "degraded", reads keep serving the
+// in-memory store. Graceful shutdown is cmd/qaserve's job:
+// Gate.SetDraining turns new requests away with 503 + Retry-After
+// while http.Server.Shutdown drains the in-flight ones. When
+// Config.Chaos is set, the injector rides every request context so the
+// pipeline's stage-boundary fault points can fire (internal/chaos).
 package qaserve
 
 import (
@@ -36,11 +53,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -52,8 +72,27 @@ type Config struct {
 	// timeout). Batch requests get one timeout per contained question.
 	RequestTimeout time.Duration
 	// MaxInFlight bounds concurrently served requests; excess requests
-	// are rejected with 503 (0 = unlimited).
+	// are rejected with 503 (0 = unlimited). With AdaptiveAdmission it
+	// is the limiter's starting limit instead (0 = the limiter default).
 	MaxInFlight int
+	// AdaptiveAdmission replaces the fixed MaxInFlight semaphore with
+	// the AIMD limiter (internal/admission): the concurrency limit
+	// starts at MaxInFlight, tracks observed request latency against
+	// AdmissionTarget, and sheds by priority — batch work first,
+	// cache-served requests last. False (the default) keeps the static
+	// semaphore exactly as before.
+	AdaptiveAdmission bool
+	// AdmissionTarget is the latency the adaptive limiter steers toward
+	// (0 = the limiter's 500ms default).
+	AdmissionTarget time.Duration
+	// AdmissionMin and AdmissionMax clamp the adaptive limit
+	// (0 = the limiter defaults: 1 and 4× the initial limit).
+	AdmissionMin, AdmissionMax int
+	// Chaos, when non-nil, rides every request context so the
+	// pipeline's stage-boundary fault points can fire; its cumulative
+	// injections are exported on /metrics. Nil (the default) keeps
+	// every fault point inert.
+	Chaos *chaos.Injector
 	// MaxBatch bounds the questions accepted by /v1/answer/batch
 	// (default 64).
 	MaxBatch int
@@ -88,7 +127,9 @@ type Server struct {
 	updater       Updater
 	updateToken   string
 	updateTimeout time.Duration
-	sem           chan struct{} // nil = unlimited
+	sem           chan struct{}      // static admission; nil = unlimited
+	limiter       *admission.Limiter // adaptive admission; nil = static sem path
+	chaos         *chaos.Injector    // nil = fault points inert
 	m             *metrics
 }
 
@@ -96,7 +137,8 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{sys: cfg.Sys, timeout: cfg.RequestTimeout, maxBatch: cfg.MaxBatch,
 		batchWorkers: cfg.BatchParallelism, updater: cfg.Updater,
-		updateToken: cfg.UpdateToken, updateTimeout: cfg.UpdateTimeout, m: newMetrics()}
+		updateToken: cfg.UpdateToken, updateTimeout: cfg.UpdateTimeout,
+		chaos: cfg.Chaos, m: newMetrics()}
 	if s.maxBatch <= 0 {
 		s.maxBatch = 64
 	}
@@ -106,13 +148,25 @@ func New(cfg Config) *Server {
 	if s.batchWorkers < 1 {
 		s.batchWorkers = 1
 	}
-	if cfg.MaxInFlight > 0 {
+	switch {
+	case cfg.AdaptiveAdmission:
+		s.limiter = admission.New(admission.Options{
+			Initial:  cfg.MaxInFlight,
+			Min:      cfg.AdmissionMin,
+			Max:      cfg.AdmissionMax,
+			Target:   cfg.AdmissionTarget,
+			Window:   time.Second,
+			Now:      time.Now,
+			Adaptive: true,
+		})
+	case cfg.MaxInFlight > 0:
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	return s
 }
 
-// Handler returns the route mux.
+// Handler returns the route mux, wrapped in the panic-recovery
+// backstop (see resilience.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
@@ -121,7 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.recoverware(mux)
 }
 
 // AnswerRequest is the /v1/answer body.
@@ -171,10 +225,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// acquire reserves an in-flight slot, answering 503 when the limit is
-// reached. The returned release func is nil when the request was
+// acquire reserves an in-flight slot at the given priority, answering
+// 503 + Retry-After when admission fails. The static semaphore ignores
+// the priority; the adaptive limiter sheds batch work first and
+// cache-served requests last, and is fed the request's latency on
+// release. The returned release func is nil when the request was
 // rejected.
-func (s *Server) acquire(w http.ResponseWriter) func() {
+func (s *Server) acquire(w http.ResponseWriter, p admission.Priority) func() {
+	if s.limiter != nil {
+		if !s.limiter.Acquire(p) {
+			s.m.requestsRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(admission.RetryAfter(p)))
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server at capacity"})
+			return nil
+		}
+		start := time.Now()
+		s.m.inflight.Add(1)
+		return func() {
+			s.m.inflight.Add(-1)
+			s.limiter.Release(time.Since(start))
+		}
+	}
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
@@ -195,12 +266,15 @@ func (s *Server) acquire(w http.ResponseWriter) func() {
 }
 
 // answer runs one question through the pipeline under the request's
-// context plus the configured timeout and records its trace metrics.
-func (s *Server) answer(r *http.Request, question string) *core.Result {
-	ctx := r.Context()
-	if s.timeout > 0 {
+// context plus the given timeout (the configured one, possibly lowered
+// by the client's budget header) and records its trace metrics. The
+// chaos injector, when configured, rides the context so stage-boundary
+// fault points can fire.
+func (s *Server) answer(r *http.Request, question string, timeout time.Duration) *core.Result {
+	ctx := chaos.With(r.Context(), s.chaos)
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	res := s.sys.AnswerCtx(ctx, question)
@@ -270,23 +344,45 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "body must be {\"question\": \"...\"}"})
 		return
 	}
-	release := s.acquire(w)
+	budget, ok := s.requestBudget(r)
+	if !ok {
+		s.shedExpired(w)
+		return
+	}
+	// Priority classification costs a cache probe, so only the adaptive
+	// limiter (which acts on it) pays for it.
+	p := admission.Normal
+	if s.limiter != nil && s.sys.CacheEligible(req.Question) {
+		p = admission.Cached
+	}
+	release := s.acquire(w, p)
 	if release == nil {
 		return
 	}
 	defer release()
 
-	res := s.answer(r, req.Question)
-	if res.Status == core.StatusCanceled {
+	res := s.answer(r, req.Question, budget)
+	switch res.Status {
+	case core.StatusCanceled:
 		if r.Context().Err() != nil {
 			return // client went away; nothing useful to write
 		}
 		s.m.requestsTimeout.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, s.toResponse(res))
-		return
+	case core.StatusOverBudget:
+		// The cost model predicted the remaining deadline cannot cover
+		// execution: the request was shed before the fan-out burned CPU,
+		// and the client learns when to retry.
+		s.m.requestsShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, s.toResponse(res))
+	case core.StatusInternal:
+		s.m.requestsInternal.Add(1)
+		writeJSON(w, http.StatusInternalServerError, s.toResponse(res))
+	default:
+		s.m.requestsOK.Add(1)
+		writeJSON(w, http.StatusOK, s.toResponse(res))
 	}
-	s.m.requestsOK.Add(1)
-	writeJSON(w, http.StatusOK, s.toResponse(res))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -303,7 +399,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("batch of %d exceeds the limit of %d", len(req.Questions), s.maxBatch)})
 		return
 	}
-	release := s.acquire(w)
+	budget, ok := s.requestBudget(r)
+	if !ok {
+		s.shedExpired(w)
+		return
+	}
+	release := s.acquire(w, admission.Batch)
 	if release == nil {
 		return
 	}
@@ -320,7 +421,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// busy the extra slots simply are not there and the batch degrades
 	// toward sequential instead of oversubscribing the CPU under the
 	// per-question timeouts.
-	if s.sem != nil && workers > 1 {
+	if s.limiter != nil && workers > 1 {
+		extra := 0
+		for extra < workers-1 && s.limiter.Acquire(admission.Batch) {
+			extra++
+		}
+		workers = 1 + extra
+		defer func() {
+			for i := 0; i < extra; i++ {
+				// Slot charge only: a worker slot is not a completed
+				// request, so it feeds no latency sample to the controller.
+				s.limiter.Release(-1)
+			}
+		}()
+	} else if s.sem != nil && workers > 1 {
 		extra := 0
 		for extra < workers-1 {
 			select {
@@ -342,7 +456,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Sequential reference path (BatchParallelism 1, or a
 		// single-question batch).
 		for i, q := range req.Questions {
-			res := s.answer(r, q)
+			res := s.answer(r, q, budget)
 			if res.Status == core.StatusCanceled && r.Context().Err() != nil {
 				return // client went away mid-batch
 			}
@@ -367,7 +481,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					if i >= len(req.Questions) || r.Context().Err() != nil {
 						return
 					}
-					results[i] = s.answer(r, req.Questions[i])
+					results[i] = s.answer(r, req.Questions[i], budget)
 				}
 			}()
 		}
@@ -402,20 +516,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz is the readiness probe: reaching the Server at all means
 // the KB is loaded and WAL recovery finished (the Gate answered 503
-// until then), so it reports ready unconditionally.
+// until then). It reports "ready" — or "degraded" once the WAL has
+// poisoned itself: reads still serve the in-memory store (so the
+// instance stays in rotation with 200), but updates refuse and
+// operators see the state.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	sn := s.sys.KB.Store.Snapshot()
+	status, writable := "ready", s.updater != nil
+	if s.degraded() {
+		status, writable = "degraded", false
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ready",
+		"status":     status,
 		"triples":    sn.Len(),
 		"generation": sn.Gen(),
-		"writable":   s.updater != nil,
+		"writable":   writable,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var sb strings.Builder
 	s.m.render(&sb)
+	s.renderResilience(&sb)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(sb.String()))
 }

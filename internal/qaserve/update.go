@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/admission"
 	"repro/internal/sparql"
 	"repro/internal/store"
 )
@@ -62,6 +63,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "missing or wrong update token"})
 		return
 	}
+	if s.degraded() {
+		// The WAL poisoned itself: every append would fail anyway, so
+		// refuse up front with the same status a born-read-only server
+		// uses. Reads are unaffected; a restart recovers the log.
+		s.m.updatesReadOnly.Add(1)
+		writeJSON(w, http.StatusNotImplemented,
+			errorResponse{Error: "server is read-only: write-ahead log poisoned by an unrecoverable append failure (restart to recover)"})
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxUpdateBytes)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -76,7 +86,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	release := s.acquire(w)
+	release := s.acquire(w, admission.Normal)
 	if release == nil {
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/store"
 )
 
@@ -29,6 +30,7 @@ type logFile struct {
 	f        File
 	off      int64 // append position = end of the last durable record
 	poisoned bool
+	chaos    *chaos.Injector // nil in production; armed by Options.Chaos
 }
 
 // scanLog reads the log at path and returns every valid record in
@@ -136,6 +138,12 @@ func openLog(fsys FS, path string, validEnd int64) (*logFile, error) {
 func (l *logFile) append(rec []byte) error {
 	if l.poisoned {
 		return errPoisoned
+	}
+	// Fault point strictly before the first byte reaches the file — and
+	// therefore before the commit fsync below: an injected fault fails
+	// the commit cleanly, with nothing to roll back.
+	if err := l.chaos.Hit("wal.append"); err != nil {
+		return err
 	}
 	n, werr := l.f.Write(rec)
 	if werr == nil && n == len(rec) {

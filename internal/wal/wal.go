@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -58,6 +59,12 @@ type Options struct {
 	// commit. 0 means the 8 MiB default; negative disables automatic
 	// compaction.
 	CompactBytes int64
+	// Chaos arms the manager's fault points (wal.apply, wal.append,
+	// wal.compact) with a fault injector; nil (the default) keeps them
+	// inert. The commit-path points sit strictly before the record
+	// append, so injected faults fail commits cleanly — they can never
+	// produce a durable-but-unacknowledged record.
+	Chaos *chaos.Injector
 }
 
 // defaultCompactBytes is the automatic compaction threshold.
@@ -185,6 +192,7 @@ type Manager struct {
 	gen     uint64 // last committed generation; guarded by mu
 	segGen  uint64 // generation of the newest durable segment; guarded by mu
 	compact int64  // log-size compaction threshold (<0 disables)
+	chaos   *chaos.Injector
 }
 
 // Open attaches durability to st, which must hold exactly the
@@ -207,6 +215,7 @@ func (r *Recovery) Open(st *store.Store) (*Manager, error) {
 		gen:     st.Snapshot().Gen(),
 		segGen:  r.SegmentGen,
 		compact: r.o.compactBytes(),
+		chaos:   r.o.Chaos,
 	}
 	_, validEnd, err := scanLog(fsys, join(r.dir, LogName))
 	if err != nil {
@@ -216,6 +225,7 @@ func (r *Recovery) Open(st *store.Store) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.log.chaos = r.o.Chaos
 	// Checkpoint on open: after this the newest segment alone
 	// reproduces the current state, and the log is empty.
 	if err := m.compactLocked(); err != nil {
@@ -235,6 +245,17 @@ func (m *Manager) Gen() uint64 {
 	return m.gen
 }
 
+// Poisoned reports whether the log has entered the poisoned state: a
+// failed append could not be rolled back, so every further append (and
+// compaction) fails until the process restarts and recovers. The
+// serving layer polls this to flip into read-only degraded mode —
+// updates refuse cleanly while reads keep serving the in-memory store.
+func (m *Manager) Poisoned() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.poisoned
+}
+
 // Apply durably commits one batch: log append + fsync, then the atomic
 // in-memory application. The error path leaves the store unchanged.
 // The context is checked before the append (an expired update request
@@ -247,6 +268,11 @@ func (m *Manager) Apply(ctx context.Context, ops []store.BatchOp) (Commit, error
 		if err := ctx.Err(); err != nil {
 			return Commit{}, err
 		}
+	}
+	// Fault point strictly before any mutation: an injected fault here
+	// rejects the batch before a single log byte exists.
+	if err := m.chaos.Hit("wal.apply"); err != nil {
+		return Commit{}, err
 	}
 	gen := m.gen + 1
 	if err := m.log.append(encodeRecord(gen, ops)); err != nil {
@@ -279,6 +305,12 @@ func (m *Manager) Compact() error {
 // segments (keeping the previous one as a corruption fallback). Caller
 // holds m.mu.
 func (m *Manager) compactLocked() error {
+	// Fault point before the segment write: a fault only fails the
+	// checkpoint, which is best-effort everywhere it is called — the
+	// fsynced log still proves every committed batch.
+	if err := m.chaos.Hit("wal.compact"); err != nil {
+		return err
+	}
 	sn := m.st.Snapshot()
 	if err := writeSegment(m.fs, m.dir, sn); err != nil {
 		return err

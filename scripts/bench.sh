@@ -12,9 +12,13 @@
 # scans, sorted-ID merge joins and hoisted cardinalities), and the
 # durability layer (PR 6: BenchmarkWALAppend is the per-batch
 # append+fsync+apply commit cost, BenchmarkWALRecovery is a cold start
-# over the built-in KB's segment plus a 64-record log tail) — and
-# emits BENCH_PR6.json with ns/op and allocs/op per benchmark, so
-# later PRs have a perf trajectory to compare against.
+# over the built-in KB's segment plus a 64-record log tail), and the
+# resilience layer (PR 8: BenchmarkAdmissionAcquireRelease is the
+# adaptive limiter's uncontended per-request hot path,
+# BenchmarkChaosHitDisabled is the inert fault-point tax every stage
+# boundary pays in production) — and emits BENCH_PR8.json with ns/op
+# and allocs/op per benchmark, so later PRs have a perf trajectory to
+# compare against.
 #
 # The BenchmarkAnswerCtx / BenchmarkAnswerThroughput comparability pair
 # (the stage-framework-overhead bound) runs in its own `go test`
@@ -37,20 +41,20 @@
 #                benchmarks: exercises every tentpole path, produces no
 #                JSON. This is the single place the CI smoke regex
 #                lives; .github/workflows/ci.yml just calls it.
-#   output.json  full run; writes the JSON (default BENCH_PR6.json).
+#   output.json  full run; writes the JSON (default BENCH_PR8.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The benchmark selections, defined once for every mode.
-bench_full='BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$'
+bench_full='BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$'
 bench_pair='BenchmarkAnswer(Throughput|Ctx)$'
-bench_smoke='BenchmarkStore|BenchmarkExtract(Sequential|Parallel|Sessionless)$|BenchmarkBGPJoin(Idle|UnderLoad)$|BenchmarkAnswerCtx$|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$'
+bench_smoke='BenchmarkStore|BenchmarkExtract(Sequential|Parallel|Sessionless)$|BenchmarkBGPJoin(Idle|UnderLoad)$|BenchmarkAnswerCtx$|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$'
 
 if [ "${1:-}" = "smoke" ]; then
   exec go test -run '^$' -bench "$bench_smoke" -benchtime=20x -benchmem .
 fi
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR8.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' -bench "$bench_full" -benchmem -benchtime="$benchtime" .)"

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	qaserve [-addr :8080] [-timeout 5s] [-max-inflight 64] [-cache 1024]
+//	        [-plan-cache N]
 //	        [-parallel N] [-kb file.nt] [-data-dir dir] [-update-token T]
 //	        [-drain 15s] [-extensions]
 //	        [-adaptive-admission] [-admission-target 500ms]
@@ -58,6 +59,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "max questions per /v1/answer/batch request")
 	batchParallel := flag.Int("batch-parallel", 0, "workers a batch request fans its questions across (0 = GOMAXPROCS, 1 = sequential)")
 	cacheSize := flag.Int("cache", 1024, "answer cache entries, keyed on normalized question text (0 = disabled)")
+	planCache := flag.Int("plan-cache", 0, "SPARQL plan-shape cache: 0 = process-wide default, >0 = dedicated cache of that many shapes, <0 = disabled")
 	negTTL := flag.Duration("cache-negative-ttl", 0, "expire cached non-answers after this long (0 = keep until the KB changes)")
 	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers per question (0 = GOMAXPROCS, 1 = sequential)")
 	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
@@ -120,6 +122,7 @@ func main() {
 		cfg := core.DefaultConfig()
 		cfg.Parallelism = *parallel
 		cfg.CacheSize = *cacheSize
+		cfg.PlanCacheSize = *planCache
 		cfg.NegativeTTL = *negTTL
 		cfg.CostNanosPerRow = int(costPerRow.Nanoseconds())
 		if *extensions {

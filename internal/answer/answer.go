@@ -73,6 +73,14 @@ type Config struct {
 	// BenchmarkExtractSessionless trajectory baseline run under.
 	DisableSessionReuse bool
 
+	// DisablePlanCache detaches every session this extractor runs from
+	// the global plan-shape cache, so each candidate query compiles its
+	// shape from scratch. Answers are identical either way (a cached
+	// shape is a pure function of the query text); this is the
+	// differential-baseline switch the plan-cache equivalence tests and
+	// BenchmarkPlanCacheMiss run under.
+	DisablePlanCache bool
+
 	// CostNanosPerRow converts the fan-out's compile-time cost estimate
 	// (the summed exact base cardinalities of every candidate query;
 	// see sparql.Session.EstimateRows) into an estimated execution
@@ -180,6 +188,11 @@ func (e *Extractor) ExtractCtx(ctx context.Context, mp *propmap.Mapping) (*Resul
 func (e *Extractor) ExtractSessionCtx(ctx context.Context, mp *propmap.Mapping, sess *sparql.Session) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.cfg.DisablePlanCache {
+		// Applied before the fan-out shares the session, as WithPlanCache
+		// requires.
+		sess.WithPlanCache(nil)
 	}
 	expected := mp.Extraction.Expected
 	if expected.Kind == triplex.ExpectBoolean && !e.cfg.EnableBoolean {
@@ -317,7 +330,11 @@ func (e *Extractor) checkBudget(ctx context.Context, sess *sparql.Session, res *
 // executor (the differential-test and benchmark baseline).
 func (e *Extractor) execQuery(ctx context.Context, sess *sparql.Session, q *sparql.Query) (*sparql.Result, error) {
 	if e.cfg.DisableSessionReuse {
-		return sparql.ExecuteCtx(ctx, e.kb.Store, q)
+		fresh := sparql.NewSession(e.kb.Store)
+		if e.cfg.DisablePlanCache {
+			fresh.WithPlanCache(nil)
+		}
+		return fresh.ExecuteCtx(ctx, q)
 	}
 	return sess.ExecuteCtx(ctx, q)
 }

@@ -102,6 +102,15 @@ type Config struct {
 	// paper-faithful default).
 	CacheSize int
 
+	// PlanCacheSize selects the SPARQL plan-shape cache the answer
+	// stage's execution sessions consult (see internal/sparql/plancache):
+	// 0 (the default) shares the process-wide cache with every other
+	// System, > 0 builds a dedicated cache of that capacity, and < 0
+	// disables plan caching so every candidate query compiles its shape
+	// from scratch (the differential baseline). Answers are identical at
+	// every setting.
+	PlanCacheSize int
+
 	// NegativeTTL additionally expires cached *negative* results
 	// (anything but StatusAnswered) this long after they were computed,
 	// even when the store generation never moves — a live-mutated KB may
@@ -163,6 +172,11 @@ type System struct {
 	stages []pipeline.Stage[*Result]
 	cache  *qacache.Cache[*Result]
 	negTTL time.Duration
+
+	// plans is the plan-shape cache the answer stage attaches to every
+	// execution session (nil = plan caching disabled; see
+	// Config.PlanCacheSize).
+	plans *sparql.PlanCache
 }
 
 var (
@@ -199,7 +213,14 @@ func New(cfg Config) *System {
 	ansCfg.EnableAggregation = cfg.EnableAggregation
 	ansCfg.Parallelism = cfg.Parallelism
 	ansCfg.CostNanosPerRow = cfg.CostNanosPerRow
+	ansCfg.DisablePlanCache = cfg.PlanCacheSize < 0
 	s.extractor = answer.New(k, ansCfg)
+	switch {
+	case cfg.PlanCacheSize > 0:
+		s.plans = sparql.NewPlanCache(cfg.PlanCacheSize)
+	case cfg.PlanCacheSize == 0:
+		s.plans = sparql.DefaultPlanCache()
+	}
 	s.triplexOpts = triplex.Options{Superlatives: cfg.EnableSuperlatives}
 
 	if cfg.CacheSize > 0 {
@@ -341,6 +362,21 @@ func (s *System) CacheStats() (hits, misses uint64) {
 	return s.cache.Stats()
 }
 
+// PlanCacheStats returns the cumulative hit/miss/eviction counts of
+// the plan-shape cache this System's answer stage uses, the number of
+// executions answered straight from an entry's bound-result memo
+// (resultHits, a subset of hits), plus whether plan caching is enabled
+// at all. The serving layer gates its plancache metrics on enabled so
+// a System running with caching disabled reports no counters rather
+// than fabricated misses.
+func (s *System) PlanCacheStats() (hits, misses, evictions, resultHits uint64, enabled bool) {
+	if s.plans == nil {
+		return 0, 0, 0, 0, false
+	}
+	hits, misses, evictions = s.plans.Stats()
+	return hits, misses, evictions, s.plans.ResultHits(), true
+}
+
 // CacheEligible reports whether the answer cache currently holds a
 // live entry for the question at the store's current generation — i.e.
 // whether AnswerCtx would (absent a concurrent write racing the probe)
@@ -426,7 +462,11 @@ func (st answerStage) Run(ctx context.Context, res *Result, tr *StageTrace) erro
 	// One question = one execution session = one snapshot pin: every
 	// candidate query, the COUNT retry and the type filter read the
 	// snapshot AnswerCtx pinned at request entry.
-	ans, err := st.s.extractor.ExtractSessionCtx(ctx, res.Mapping, sparql.NewSnapshotSession(res.snap))
+	sess := sparql.NewSnapshotSession(res.snap).WithPlanCache(st.s.plans)
+	ans, err := st.s.extractor.ExtractSessionCtx(ctx, res.Mapping, sess)
+	ps := sess.PlanStats()
+	tr.PlanCacheHits, tr.PlanCacheMisses = ps.Hits, ps.Misses
+	tr.PlanResultHits, tr.RankSorts = ps.ResultHits, ps.RankSorts
 	if err != nil {
 		if errors.Is(err, pipeline.ErrBudgetExceeded) {
 			return err // early shed: AnswerCtx maps it to StatusOverBudget

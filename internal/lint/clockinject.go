@@ -11,17 +11,20 @@ import (
 // cooldown window and the chaos injector's fault schedule are all
 // driven by injected clocks (the PR 6 WithClock design; the PR 8
 // admission.Options.Now), so a stray time.Now would make TTL,
-// recovery and shedding behaviour untestable without sleeps.
+// recovery and shedding behaviour untestable without sleeps. The PR 9
+// plan-shape cache is deliberately time-free; the scope covers it so
+// any future expiry arrives as an injected clock, not a stray
+// time.Now.
 var ClockInject = &Analyzer{
 	Name: "clockinject",
-	Doc:  "no time.Now/Since/Until in internal/{qacache,wal,store,admission,chaos} — use the injected clock",
+	Doc:  "no time.Now/Since/Until in internal/{qacache,wal,store,admission,chaos,sparql/plancache} — use the injected clock",
 	Run:  runClockInject,
 }
 
 // clockInjectScope is where the invariant applies.
 var clockInjectScope = []string{
 	"internal/qacache", "internal/wal", "internal/store",
-	"internal/admission", "internal/chaos",
+	"internal/admission", "internal/chaos", "internal/sparql/plancache",
 }
 
 // wallClockFuncs are the time functions that read the process clock.

@@ -1,0 +1,31 @@
+// Package plancache exercises clockinject in the plan-shape cache:
+// the package is deliberately time-free today, so any future expiry
+// code must take its clock injected.
+package plancache
+
+import "time"
+
+// Cache would expire shapes against an injected clock.
+type Cache struct {
+	now func() time.Time
+}
+
+// New defaults the clock to the wall clock.
+func New() *Cache {
+	return &Cache{now: time.Now} // want `time\.Now in a deterministic package`
+}
+
+// NewWithClock takes the clock injected — compliant.
+func NewWithClock(now func() time.Time) *Cache {
+	return &Cache{now: now}
+}
+
+// Expired reads the injected clock — compliant.
+func (c *Cache) Expired(deadline time.Time) bool {
+	return c.now().After(deadline)
+}
+
+// Age computes against the process clock.
+func (c *Cache) Age(stored time.Time) time.Duration {
+	return time.Since(stored) // want `time\.Since in a deterministic package`
+}

@@ -115,6 +115,17 @@ type StageTrace struct {
 	Candidates int
 	// CacheHit marks a cache stage that served the request.
 	CacheHit bool
+	// PlanCacheHits / PlanCacheMisses count the answer stage's
+	// plan-shape cache outcomes for this request's candidate fan-out,
+	// PlanResultHits the candidates answered straight from a cached
+	// entry's bound-result memo (a subset of PlanCacheHits), and
+	// RankSorts the result sorts executed over the snapshot's
+	// term-rank permutation. All zero for non-answer stages and for
+	// requests executed with plan caching disabled (a disabled cache
+	// fabricates no misses).
+	PlanCacheHits, PlanCacheMisses uint64
+	PlanResultHits                 uint64
+	RankSorts                      uint64
 	// Err is the stage's terminal error text ("" for success). Set for
 	// both early-stop failure outcomes and cancellation.
 	Err string

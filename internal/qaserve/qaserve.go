@@ -194,7 +194,14 @@ type StageTrace struct {
 	DurationMS float64 `json:"duration_ms"`
 	Candidates int     `json:"candidates,omitempty"`
 	CacheHit   bool    `json:"cache_hit,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// Plan-shape cache outcomes and term-rank sorts for the answer
+	// stage's candidate fan-out; all absent when plan caching is
+	// disabled (no fabricated misses) and on non-answer stages.
+	PlanCacheHits   uint64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses,omitempty"`
+	PlanResultHits  uint64 `json:"plan_result_hits,omitempty"`
+	RankSorts       uint64 `json:"rank_sorts,omitempty"`
+	Error           string `json:"error,omitempty"`
 }
 
 // AnswerResponse is the JSON projection of one pipeline Result.
@@ -320,11 +327,15 @@ func (s *Server) toResponse(res *core.Result) AnswerResponse {
 	if res.Trace != nil {
 		for _, st := range res.Trace.Stages {
 			resp.Trace = append(resp.Trace, StageTrace{
-				Stage:      st.Stage,
-				DurationMS: float64(st.Duration.Microseconds()) / 1e3,
-				Candidates: st.Candidates,
-				CacheHit:   st.CacheHit,
-				Error:      st.Err,
+				Stage:           st.Stage,
+				DurationMS:      float64(st.Duration.Microseconds()) / 1e3,
+				Candidates:      st.Candidates,
+				CacheHit:        st.CacheHit,
+				PlanCacheHits:   st.PlanCacheHits,
+				PlanCacheMisses: st.PlanCacheMisses,
+				PlanResultHits:  st.PlanResultHits,
+				RankSorts:       st.RankSorts,
+				Error:           st.Err,
 			})
 		}
 	}
@@ -534,9 +545,34 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// renderPlanCache writes the plan-shape cache counters, read from the
+// System's cache at scrape time (they are cumulative across requests,
+// unlike the per-trace answer-cache counters). A System running with
+// plan caching disabled emits nothing at all — a disabled cache must
+// not report fabricated misses.
+func (s *Server) renderPlanCache(sb *strings.Builder) {
+	hits, misses, evictions, resultHits, enabled := s.sys.PlanCacheStats()
+	if !enabled {
+		return
+	}
+	fmt.Fprintf(sb, "# HELP qaserve_plancache_hits_total SPARQL plan-shape cache hits.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_plancache_hits_total counter\n")
+	fmt.Fprintf(sb, "qaserve_plancache_hits_total %d\n", hits)
+	fmt.Fprintf(sb, "# HELP qaserve_plancache_misses_total SPARQL plan-shape cache misses.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_plancache_misses_total counter\n")
+	fmt.Fprintf(sb, "qaserve_plancache_misses_total %d\n", misses)
+	fmt.Fprintf(sb, "# HELP qaserve_plancache_evictions_total SPARQL plan-shape cache evictions (capacity and generation-staleness).\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_plancache_evictions_total counter\n")
+	fmt.Fprintf(sb, "qaserve_plancache_evictions_total %d\n", evictions)
+	fmt.Fprintf(sb, "# HELP qaserve_plancache_result_hits_total Candidate executions answered from a cached plan entry's bound-result memo (subset of hits).\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_plancache_result_hits_total counter\n")
+	fmt.Fprintf(sb, "qaserve_plancache_result_hits_total %d\n", resultHits)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var sb strings.Builder
 	s.m.render(&sb)
+	s.renderPlanCache(&sb)
 	s.renderResilience(&sb)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(sb.String()))

@@ -4,17 +4,30 @@
 //
 // # ID-space execution with late materialization
 //
-// The executor never joins over rdf.Term values. Execute compiles the
-// query once into a var->column layout (compile): every variable in the
-// group gets a column index, every constant term is resolved to its
-// dictionary ID through a single store lookup pass, and each triple
-// pattern becomes a cpat of three (constant ID | column) slots. All
-// joins, UNION, OPTIONAL, FILTER, DISTINCT, ORDER BY and COUNT then run
-// over flat []store.ID rows packed into a rowset arena — one contiguous
-// buffer, no per-solution maps, no term copies. The final Result stays
-// columnar too (Result.Rows plus the pinned dictionary view); terms are
-// materialised only when a consumer asks for them (and, transiently,
-// when a FILTER or ORDER BY expression needs term semantics).
+// The executor never joins over rdf.Term values. Compilation runs in
+// two phases (compile). The *shape* phase derives everything the query
+// text alone determines — the var->column layout, each triple
+// pattern's (variable column | constant marker) slot structure, the
+// filter pushdown split, ORDER BY keys and the projection — into an
+// immutable planShape (plan.go); shapes are looked up in a global,
+// generation-stamped cache (internal/sparql/plancache) keyed on the
+// query's structure with constant terms abstracted away, so the §2.3
+// fan-out's hundreds of sibling candidates per question share one
+// cached shape. The *bind* phase then resolves the executing query's
+// concrete constants to dictionary IDs against the session's pinned
+// snapshot and hoists each pattern's exact base cardinality
+// (bindPatterns) — the only per-candidate compile work on a cache
+// hit. Cached entries also memoize full execution results keyed by
+// the bound constants (runMemoized; planEntry in plan.go): a repeated
+// identical candidate at the same store generation skips the join
+// entirely and replays its columnar result. All joins, UNION,
+// OPTIONAL, FILTER, DISTINCT, ORDER BY and
+// COUNT then run over flat []store.ID rows packed into a rowset arena
+// — one contiguous buffer, no per-solution maps, no term copies. The
+// final Result stays columnar too (Result.Rows plus the pinned
+// dictionary view); terms are materialised only when a consumer asks
+// for them (and, transiently, when a FILTER or ORDER BY expression
+// needs term semantics).
 //
 // # Sessions and snapshot-pinned reads
 //
@@ -41,16 +54,32 @@
 // galloping merge against the store's posting list (extendStep /
 // mergeFilter) instead of a per-row index probe; all other patterns
 // extend row by row over ForEachMatchIDs, replaying the session's
-// memoized scan when the pattern is unsubstituted. DISTINCT results
-// without ORDER BY deduplicate in ID space before the final
-// deterministic term sort touches them. None of these strategies
-// changes observable results — only which physical reads produce them.
+// memoized scan when the pattern is unsubstituted. Join order is
+// chosen at run time from the bound cardinalities — it is never part
+// of the cached shape, so a shared shape cannot pin a stale order.
+//
+// Results without ORDER BY are returned in a deterministic default
+// order: sorted by the projected columns' terms, unbound first
+// (rowLess defines the order). Production sorts never materialise
+// terms to get there — they compare integer ranks from the snapshot's
+// lazily-built term-rank permutation (store.Snapshot.TermRanks;
+// rankRowLess in plan.go), which maps each dictionary ID to its
+// position in term sort order. Rank order equals term order exactly
+// (Compare is a strict total order over the dictionary), ties occur
+// only between rows whose projected tuples are identical — which are
+// interchangeable — so the sorts can be unstable, and DISTINCT
+// deduplicates in ID space before any sort touches the rows. ORDER BY
+// itself stays on materialised expression values: its comparison
+// (numeric coercion, compareValues) is deliberately not term order.
+// None of these strategies changes observable results — only which
+// physical reads and comparisons produce them.
 
 package sparql
 
 import (
 	"context"
 	"regexp"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -111,19 +140,17 @@ type cpat struct {
 	baseCard int
 }
 
-// executor holds one compiled query: the session (whose pinned
-// snapshot every read of the query uses), the column layout, and every
-// pattern block pre-resolved to IDs.
+// executor holds one bound query: the session (whose pinned snapshot
+// every read of the query uses), the shared immutable plan shape, and
+// every pattern block resolved to IDs against the pinned snapshot.
 type executor struct {
 	sess  *Session
 	snap  *store.Snapshot // the session's pinned snapshot
 	q     *Query
 	ctx   context.Context // cancellation, checked between join steps
 	terms []rdf.Term      // snap.TermsView(): terms[id-1] materialises an ID
-
-	varCols  map[string]int
-	varNames []string // column -> variable name
-	ncols    int
+	shape *planShape      // possibly cache-shared; read-only
+	entry *planEntry      // cache entry carrying the result memo; nil when caching is off
 
 	patterns  []cpat
 	unions    [][][]cpat
@@ -137,64 +164,67 @@ func (ex *executor) term(id store.ID) rdf.Term {
 	return ex.terms[id-1]
 }
 
-// compile builds the column layout and resolves all constants to IDs
-// through the session's memoized dictionary lookups; the whole query
-// reads the session's pinned snapshot and runs under ctx.
+// compile builds the executable form of q in two phases: the shape
+// phase (buildShape via the session's plan cache — the column layout,
+// pattern slot structure, filter split and projection, all independent
+// of which concrete terms are bound; see plan.go) and the bind phase
+// below, which resolves the executing query's constants to dictionary
+// IDs through the session's memoized lookups and hoists exact base
+// cardinalities from the pinned snapshot.
 func compile(ctx context.Context, sess *Session, q *Query) *executor {
+	sh, ent := sess.planFor(q)
 	ex := &executor{sess: sess, snap: sess.snap, q: q, ctx: ctx,
-		terms: sess.terms, varCols: map[string]int{}}
-	// Column order must match Query.Vars() so SELECT * projects in the
-	// documented order of first appearance.
-	for _, v := range q.Vars() {
-		ex.varCols[v] = len(ex.varNames)
-		ex.varNames = append(ex.varNames, v)
-	}
-	ex.ncols = len(ex.varNames)
-
-	ex.patterns = ex.compilePatterns(q.Patterns)
-	for _, block := range q.Unions {
-		branches := make([][]cpat, len(block))
-		for i, branch := range block {
-			branches[i] = ex.compilePatterns(branch)
+		terms: sess.terms, shape: sh, entry: ent}
+	ex.patterns = ex.bindPatterns(sh.patterns, q.Patterns)
+	if len(sh.unions) > 0 {
+		ex.unions = make([][][]cpat, len(sh.unions))
+		for i, block := range sh.unions {
+			branches := make([][]cpat, len(block))
+			for j, branch := range block {
+				branches[j] = ex.bindPatterns(branch, q.Unions[i][j])
+			}
+			ex.unions[i] = branches
 		}
-		ex.unions = append(ex.unions, branches)
 	}
-	for _, opt := range q.Optionals {
-		ex.optionals = append(ex.optionals, ex.compilePatterns(opt))
+	if len(sh.optionals) > 0 {
+		ex.optionals = make([][]cpat, len(sh.optionals))
+		for i, opt := range sh.optionals {
+			ex.optionals[i] = ex.bindPatterns(opt, q.Optionals[i])
+		}
 	}
 	return ex
 }
 
-func (ex *executor) compilePatterns(pats []rdf.Triple) []cpat {
-	out := make([]cpat, len(pats))
-	for i, p := range pats {
-		out[i] = ex.compilePattern(p)
+// bindPatterns is the bind phase for one pattern block: each shape
+// slot keeps its column layout, and every constant position resolves
+// the executing query's concrete term (the shape abstracted it away,
+// so sibling candidates differing only in bound terms share shapes).
+func (ex *executor) bindPatterns(shapes []spat, pats []rdf.Triple) []cpat {
+	out := make([]cpat, len(shapes))
+	for i, sp := range shapes {
+		cp := cpat{vars: sp.vars}
+		p := pats[i]
+		for j, t := range [3]rdf.Term{p.S, p.P, p.O} {
+			if sp.vars[j] >= 0 {
+				continue
+			}
+			id, ok := ex.sess.resolve(t)
+			if !ok {
+				cp.unknown = true
+				continue
+			}
+			cp.ids[j] = id
+		}
+		if !cp.unknown {
+			// Hoisted once per bound pattern: the planner re-reads this
+			// at every join step of every block, and the store's cached
+			// bucket totals make the estimate O(1) even for 1-bound
+			// patterns.
+			cp.baseCard = ex.snap.EstimateCardinalityIDs(cp.ids)
+		}
+		out[i] = cp
 	}
 	return out
-}
-
-func (ex *executor) compilePattern(p rdf.Triple) cpat {
-	cp := cpat{vars: [3]int{-1, -1, -1}}
-	for i, t := range [3]rdf.Term{p.S, p.P, p.O} {
-		if t.IsVar() {
-			cp.vars[i] = ex.varCols[t.Value]
-			continue
-		}
-		id, ok := ex.sess.resolve(t)
-		if !ok {
-			cp.unknown = true
-			continue
-		}
-		cp.ids[i] = id
-	}
-	if !cp.unknown {
-		// Hoisted once per compiled pattern: the planner re-reads this
-		// at every join step of every block, and the store's cached
-		// bucket totals make the estimate O(1) even for 1-bound
-		// patterns.
-		cp.baseCard = ex.snap.EstimateCardinalityIDs(cp.ids)
-	}
-	return cp
 }
 
 // rowset is a flat arena of binding rows: n rows of stride IDs each,
@@ -479,7 +509,7 @@ func (ex *executor) pickPattern(remaining []cpat, bound []bool, anyBound bool, r
 // ordering (pickPattern) over the first row as representative.
 func (ex *executor) joinAll(rows rowset, pats []cpat) rowset {
 	remaining := append([]cpat(nil), pats...)
-	bound := make([]bool, ex.ncols)
+	bound := make([]bool, ex.shape.ncols)
 	anyBound := false
 	if rows.n > 0 {
 		rep := rows.row(0)
@@ -518,35 +548,15 @@ func sharesVar(cp cpat, bound []bool) bool {
 	return false
 }
 
-// filterCols pairs a filter/order expression with the row columns it
-// reads. Variables the expression mentions that have no column are
-// simply absent from cols: they can never be bound, so Eval sees them
-// as unbound and rejects the solution (except BOUND, which reports
-// false).
-type filterCols struct {
-	expr Expr
-	cols []int
-}
-
-func (ex *executor) filterColumns(f Expr) filterCols {
-	fc := filterCols{expr: f}
-	for v := range exprVars(f) {
-		if col, ok := ex.varCols[v]; ok {
-			fc.cols = append(fc.cols, col)
-		}
-	}
-	sort.Ints(fc.cols)
-	return fc
-}
-
 // fillBinding populates the reusable scratch binding with the row's
 // terms for the given columns (late materialization for expression
-// evaluation only).
+// evaluation only). filterCols (the expression/column pairing) lives
+// in plan.go: it is part of the cached shape.
 func (ex *executor) fillBinding(b Binding, r []store.ID, cols []int) {
 	clear(b)
 	for _, col := range cols {
 		if id := r[col]; id != 0 {
-			b[ex.varNames[col]] = ex.term(id)
+			b[ex.shape.varNames[col]] = ex.term(id)
 		}
 	}
 }
@@ -564,9 +574,10 @@ func (ex *executor) applyFilter(rows *rowset, fc filterCols, scratch Binding) {
 // evalBGP evaluates the required basic graph pattern with FILTERs pushed
 // down as soon as their variables are bound.
 func (ex *executor) evalBGP(pats []cpat, filters []filterCols) rowset {
-	rows := rowset{stride: ex.ncols}
-	rows.push(make([]store.ID, ex.ncols)) // the single empty solution
-	scratch := make(Binding, ex.ncols)
+	ncols := ex.shape.ncols
+	rows := rowset{stride: ncols}
+	rows.push(make([]store.ID, ncols)) // the single empty solution
+	scratch := make(Binding, ncols)
 
 	if len(pats) == 0 {
 		for _, fc := range filters {
@@ -576,7 +587,7 @@ func (ex *executor) evalBGP(pats []cpat, filters []filterCols) rowset {
 	}
 
 	remaining := append([]cpat(nil), pats...)
-	bound := make([]bool, ex.ncols)
+	bound := make([]bool, ncols)
 	applied := make([]bool, len(filters))
 	anyBound := false
 
@@ -635,9 +646,82 @@ func (ex *executor) evalBGP(pats []cpat, filters []filterCols) rowset {
 // extendRow joins a pattern block under a single starting row (UNION
 // branches and OPTIONAL blocks), with per-row selectivity ordering.
 func (ex *executor) extendRow(r []store.ID, pats []cpat) rowset {
-	rows := rowset{stride: ex.ncols}
+	rows := rowset{stride: ex.shape.ncols}
 	rows.push(r)
 	return ex.joinAll(rows, pats)
+}
+
+// bindKey serialises everything the shape key abstracted away: the
+// pinned store's process-unique identity, the resolved constant IDs of
+// every pattern position in every block, and LIMIT/OFFSET. Together
+// (shape key, bind key, generation stamp) pin the full query against
+// the pinned snapshot, which is what makes the entry's bound-result
+// memo sound. The store UID leads the key because generations are only
+// comparable within one store: two stores in one process (tests,
+// multi-KB servers) can sit at equal generations with entirely
+// different dictionaries, and they share the process-wide plan cache.
+// Variable positions hold ID 0 and the block structure is fixed per
+// shape, so the fixed-width encoding is unambiguous. Constants absent
+// from the dictionary also encode as 0 — queries differing only in
+// which never-matching term they name produce identical
+// (empty-for-that-pattern) results, so folding them is harmless.
+func (ex *executor) bindKey() string {
+	b := make([]byte, 0, 64)
+	uid := ex.snap.UID()
+	b = append(b, byte(uid), byte(uid>>8), byte(uid>>16), byte(uid>>24),
+		byte(uid>>32), byte(uid>>40), byte(uid>>48), byte(uid>>56))
+	add := func(pats []cpat) {
+		for _, cp := range pats {
+			for _, id := range cp.ids {
+				b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+		}
+	}
+	add(ex.patterns)
+	for _, block := range ex.unions {
+		for _, branch := range block {
+			add(branch)
+		}
+	}
+	for _, opt := range ex.optionals {
+		add(opt)
+	}
+	l, o := uint32(ex.q.Limit), uint32(ex.q.Offset)
+	b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24),
+		byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
+	return string(b)
+}
+
+// runMemoized is run behind the plan-cache entry's bound-result memo:
+// a hit replays the memoized columnar payload (copied — the memo is
+// never aliased) with zero join work; a miss executes normally and
+// stores the result for the next identical candidate. Results are pure
+// functions of (snapshot, query) — every operator, filter and sort in
+// run is deterministic, and ORDER BY ties break by the stable sort
+// over deterministic join order — and a store write evicts the entry
+// via the generation stamp, so replaying is byte-identical to
+// re-executing. The differential tests in plan_test.go pin that.
+func (ex *executor) runMemoized() (*Result, error) {
+	e := ex.entry
+	if e == nil {
+		return ex.run()
+	}
+	if err := ex.ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := ex.bindKey()
+	if mr, ok := e.cached(key); ok {
+		ex.sess.resultHits.Add(1)
+		if pc := ex.sess.plans; pc != nil {
+			pc.resultHits.Add(1)
+		}
+		return mr.materialize(ex.terms), nil
+	}
+	res, err := ex.run()
+	if err == nil {
+		e.maybeStore(key, res, ex.q)
+	}
+	return res, err
 }
 
 func (ex *executor) run() (*Result, error) {
@@ -646,36 +730,17 @@ func (ex *executor) run() (*Result, error) {
 		return nil, err
 	}
 
-	// Filters whose variables are all introduced by the required BGP run
-	// inside it (pushdown); the rest run after UNION/OPTIONAL.
-	requiredVars := map[string]bool{}
-	for _, p := range q.Patterns {
-		for _, v := range p.Vars() {
-			requiredVars[v] = true
-		}
-	}
-	var early, late []filterCols
-	for _, f := range q.Filters {
-		deferred := false
-		for v := range exprVars(f) {
-			if !requiredVars[v] {
-				deferred = true
-				break
-			}
-		}
-		if deferred && (len(q.Unions) > 0 || len(q.Optionals) > 0) {
-			late = append(late, ex.filterColumns(f))
-		} else {
-			early = append(early, ex.filterColumns(f))
-		}
-	}
+	// The filter pushdown split (early runs inside the required BGP as
+	// columns bind; late runs after UNION/OPTIONAL) was computed once at
+	// shape time and shared through the plan cache.
+	sh := ex.shape
 
-	rows := ex.evalBGP(ex.patterns, early)
+	rows := ex.evalBGP(ex.patterns, sh.early)
 
 	// UNION blocks: each block joins the current rows with the union of
 	// its branches.
 	for _, block := range ex.unions {
-		next := rowset{stride: ex.ncols}
+		next := rowset{stride: sh.ncols}
 		for _, branch := range block {
 			if err := ex.ctx.Err(); err != nil {
 				return nil, err
@@ -694,7 +759,7 @@ func (ex *executor) run() (*Result, error) {
 		if err := ex.ctx.Err(); err != nil {
 			return nil, err
 		}
-		next := rowset{stride: ex.ncols}
+		next := rowset{stride: sh.ncols}
 		for i := 0; i < rows.n; i++ {
 			r := rows.row(i)
 			ext := ex.extendRow(r, opt)
@@ -709,9 +774,9 @@ func (ex *executor) run() (*Result, error) {
 	}
 
 	// Deferred filters.
-	if len(late) > 0 {
-		scratch := make(Binding, ex.ncols)
-		for _, fc := range late {
+	if len(sh.late) > 0 {
+		scratch := make(Binding, sh.ncols)
+		for _, fc := range sh.late {
 			ex.applyFilter(&rows, fc, scratch)
 		}
 	}
@@ -730,7 +795,7 @@ func (ex *executor) run() (*Result, error) {
 	// space (two rows bind the same term iff they hold the same ID).
 	if q.Count != nil {
 		n := 0
-		col, hasCol := ex.varCols[q.Count.Var]
+		col, hasCol := sh.varCols[q.Count.Var]
 		switch {
 		case q.Count.Var == "":
 			n = rows.n
@@ -757,19 +822,10 @@ func (ex *executor) run() (*Result, error) {
 		return newMaterializedResult(FormSelect, []string{q.Count.As}, []Binding{row}), nil
 	}
 
-	// Projection variable list and column mapping (-1: never bound).
-	vars := q.Projection
-	if q.Star {
-		vars = q.Vars()
-	}
-	projCols := make([]int, len(vars))
-	for i, v := range vars {
-		if col, ok := ex.varCols[v]; ok {
-			projCols[i] = col
-		} else {
-			projCols[i] = -1
-		}
-	}
+	// Projection variable list and column mapping, resolved at shape
+	// time (-1: never bound).
+	vars := sh.projVars
+	projCols := sh.projCols
 
 	// DISTINCT with no ORDER BY: dedup in ID space *before* the
 	// deterministic sort, so the sort touches only the distinct rows.
@@ -782,22 +838,32 @@ func (ex *executor) run() (*Result, error) {
 	if q.Distinct && len(q.OrderBy) == 0 {
 		projected := ex.projectDistinct(&rows, projCols)
 		nproj := len(projCols)
-		// Distinct rows have no ties under the projected-term order (two
-		// distinct IDs always hold distinct terms), so the unstable sort
-		// is deterministic here and spares the stable sort's merge
-		// passes. Single-column results sort their ID arena directly.
+		// The sort runs over the snapshot's term-rank permutation: rank
+		// order equals Term.Compare order and distinct IDs hold distinct
+		// ranks, so the pure integer sort is byte-identical to the term
+		// sort it replaced with zero term materialization. Distinct rows
+		// have no ties under that order, so the unstable sort is
+		// deterministic and spares the stable sort's merge passes.
+		// Single-column results sort flat integer keys and translate the
+		// sorted ranks back through the inverse permutation.
 		if nproj == 1 {
 			ids := projected.buf
-			sort.Slice(ids, func(a, b int) bool {
-				ia, ib := ids[a], ids[b]
-				if ia == 0 {
-					return ib != 0
+			if len(ids) > 1 {
+				ranks, order := ex.snap.TermRanks()
+				ex.sess.rankSorts.Add(1)
+				keys := make([]uint32, len(ids))
+				for i, id := range ids {
+					keys[i] = rankKey(ranks, id)
 				}
-				if ib == 0 {
-					return false
+				slices.Sort(keys)
+				for i, k := range keys {
+					if k == 0 {
+						ids[i] = 0 // unbound stays unbound (sorts first)
+					} else {
+						ids[i] = order[k-1]
+					}
 				}
-				return ex.term(ia).Compare(ex.term(ib)) < 0
-			})
+			}
 			first, last := window(q, projected.n)
 			out := make([]store.ID, last-first)
 			copy(out, ids[first:last])
@@ -811,9 +877,13 @@ func (ex *executor) run() (*Result, error) {
 		for i := range perm {
 			perm[i] = i
 		}
-		sort.Slice(perm, func(a, b int) bool {
-			return ex.rowLess(projected.row(perm[a]), projected.row(perm[b]), idCols)
-		})
+		if projected.n > 1 {
+			ranks, _ := ex.snap.TermRanks()
+			ex.sess.rankSorts.Add(1)
+			sort.Slice(perm, func(a, b int) bool {
+				return rankRowLess(ranks, projected.row(perm[a]), projected.row(perm[b]), idCols)
+			})
+		}
 		first, last := window(q, projected.n)
 		out := make([]store.ID, 0, (last-first)*nproj)
 		for _, i := range perm[first:last] {
@@ -829,50 +899,61 @@ func (ex *executor) run() (*Result, error) {
 	for i := range perm {
 		perm[i] = i
 	}
-	if len(q.OrderBy) > 0 {
-		nk := len(q.OrderBy)
+	if len(sh.orderKeys) > 0 {
+		// ORDER BY compares by SPARQL value semantics (numeric coercion,
+		// compareValues) — a different order than Term.Compare — so this
+		// path deliberately stays on materialised expression values; the
+		// term-rank permutation only replaces the ORDER-BY-less sorts.
+		nk := len(sh.orderKeys)
 		keys := make([]Value, rows.n*nk)
 		keyOK := make([]bool, rows.n*nk)
-		scratch := make(Binding, ex.ncols)
-		orderCols := make([]filterCols, nk)
-		for k, key := range q.OrderBy {
-			orderCols[k] = ex.filterColumns(key.Expr)
-		}
+		scratch := make(Binding, sh.ncols)
 		for i := 0; i < rows.n; i++ {
 			r := rows.row(i)
-			for k := range q.OrderBy {
-				ex.fillBinding(scratch, r, orderCols[k].cols)
-				keys[i*nk+k], keyOK[i*nk+k] = q.OrderBy[k].Expr.Eval(scratch)
+			for k := range sh.orderKeys {
+				ex.fillBinding(scratch, r, sh.orderKeys[k].fc.cols)
+				keys[i*nk+k], keyOK[i*nk+k] = sh.orderKeys[k].fc.expr.Eval(scratch)
 			}
 		}
 		sort.SliceStable(perm, func(a, b int) bool {
 			i, j := perm[a], perm[b]
-			for k, key := range q.OrderBy {
+			for k := range sh.orderKeys {
+				desc := sh.orderKeys[k].desc
 				vi, oki := keys[i*nk+k], keyOK[i*nk+k]
 				vj, okj := keys[j*nk+k], keyOK[j*nk+k]
 				if !oki && !okj {
 					continue
 				}
 				if !oki {
-					return !key.Desc // unbound sorts first ascending
+					return !desc // unbound sorts first ascending
 				}
 				if !okj {
-					return key.Desc
+					return desc
 				}
 				c, ok := compareValues(vi, vj)
 				if !ok || c == 0 {
 					continue
 				}
-				if key.Desc {
+				if desc {
 					return c > 0
 				}
 				return c < 0
 			}
 			return false
 		})
-	} else {
-		sort.SliceStable(perm, func(a, b int) bool {
-			return ex.rowLess(rows.row(perm[a]), rows.row(perm[b]), projCols)
+	} else if rows.n > 1 {
+		// Deterministic default order, as an unstable integer sort over
+		// the term-rank permutation. Unstable is safe without ORDER BY:
+		// two rows tie under rankRowLess iff their projected tuples are
+		// identical (rank injectivity), and rows with identical
+		// projections are interchangeable — projection right below emits
+		// exactly the projected columns, so any tie-order produces the
+		// same output bytes (DISTINCT dedup likewise keys on projected
+		// IDs only).
+		ranks, _ := ex.snap.TermRanks()
+		ex.sess.rankSorts.Add(1)
+		sort.Slice(perm, func(a, b int) bool {
+			return rankRowLess(ranks, rows.row(perm[a]), rows.row(perm[b]), projCols)
 		})
 	}
 
@@ -992,7 +1073,11 @@ func appendRowKey(buf []byte, ids []store.ID) []byte {
 }
 
 // rowLess orders two rows by the projected columns' terms (unbound
-// first), the deterministic default order.
+// first) — the reference definition of the deterministic default
+// order. Production sorts run rankRowLess over the snapshot's
+// term-rank permutation instead; the equivalence (identical order,
+// zero term materialization) is pinned by the determinism tests in
+// plan_test.go, which keep this comparator as their oracle.
 func (ex *executor) rowLess(a, b []store.ID, projCols []int) bool {
 	for _, col := range projCols {
 		if col < 0 {

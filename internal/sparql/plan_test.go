@@ -1,0 +1,480 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// The plan-cache differential and the term-rank determinism pins.
+//
+// PR 9 split compile into a cached shape phase and a per-snapshot bind
+// phase, and replaced the ORDER-BY-less deterministic sorts with
+// unstable integer sorts over the snapshot's term-rank permutation.
+// Neither change may be observable: results must stay byte-identical
+// with the cache enabled, disabled, shared across concurrent sessions
+// or invalidated by writes, and the default result order must remain
+// exactly the term order rowLess defines.
+
+// TestPlanCacheDifferential: cache-enabled execution ≡ cache-disabled
+// execution, byte-identical, over randomized graphs and sibling-query
+// workloads — including the repeat run that serves every shape from
+// the cache.
+func TestPlanCacheDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 8; trial++ {
+		st, props := randStore(rng, 30+rng.Intn(120), 2+rng.Intn(5))
+		qs := siblingQueries(rng, props)
+		pc := NewPlanCache(64)
+		cached := NewSession(st).WithPlanCache(pc)
+		bare := NewSession(st).WithPlanCache(nil)
+		for qi, q := range qs {
+			want, errW := bare.Execute(q)
+			for pass := 0; pass < 2; pass++ { // pass 1 hits the cache
+				got, errG := cached.Execute(q)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("trial %d query %d pass %d: err mismatch %v vs %v",
+						trial, qi, pass, errW, errG)
+				}
+				if errW != nil {
+					continue
+				}
+				if g, w := resultKey(got), resultKey(want); g != w {
+					t.Fatalf("trial %d query %d pass %d diverged:\ncached: %s\nbare:   %s\nquery: %s",
+						trial, qi, pass, g, w, q.String())
+				}
+			}
+		}
+		ps := cached.PlanStats()
+		if ps.Hits == 0 || ps.Misses == 0 {
+			t.Fatalf("trial %d: expected both hits and misses, got %+v", trial, ps)
+		}
+		if bs := bare.PlanStats(); bs.Hits != 0 || bs.Misses != 0 {
+			t.Fatalf("trial %d: disabled cache fabricated counters: %+v", trial, bs)
+		}
+	}
+}
+
+// TestPlanCacheConcurrentSharedCache: many sessions over one shared
+// cache, each executing the workload from its own goroutine. Under
+// -race this pins the cross-session cache locking; the results must
+// match the cache-disabled baseline exactly.
+func TestPlanCacheConcurrentSharedCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	st, props := randStore(rng, 150, 4)
+	qs := siblingQueries(rng, props)
+	want := make([]string, len(qs))
+	bare := NewSession(st).WithPlanCache(nil)
+	for i, q := range qs {
+		r, err := bare.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resultKey(r)
+	}
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	const sessions = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions*len(qs))
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := NewSession(st).WithPlanCache(pc)
+			for i, q := range qs {
+				r, err := sess.Execute(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got := resultKey(r); got != want[i] {
+					errCh <- fmt.Errorf("session %d query %d diverged:\n%s\nvs\n%s", s, i, got, want[i])
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	hits, misses, _ := pc.Stats()
+	if misses == 0 || hits == 0 {
+		t.Fatalf("shared cache saw hits=%d misses=%d; want both > 0", hits, misses)
+	}
+}
+
+// TestPlanCacheGenerationInvalidation: after a store write, a session
+// pinning the new snapshot must never be served a plan cached at the
+// old generation — and results must reflect the write.
+func TestPlanCacheGenerationInvalidation(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(1)})
+	pc := NewPlanCache(64)
+	q := MustParse(`SELECT ?x WHERE { res:A dbont:p ?x . }`)
+
+	s1 := NewSession(st).WithPlanCache(pc)
+	if _, err := s1.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	if ps := s1.PlanStats(); ps.Misses != 1 || ps.Hits != 1 {
+		t.Fatalf("warmup stats = %+v, want 1 miss + 1 hit", ps)
+	}
+
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(2)})
+	s2 := NewSession(st).WithPlanCache(pc)
+	r, err := s2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("post-write result has %d rows, want 2", r.Len())
+	}
+	if ps := s2.PlanStats(); ps.Hits != 0 || ps.Misses != 1 {
+		t.Fatalf("stale plan served across a generation change: %+v", ps)
+	}
+	_, _, evictions := pc.Stats()
+	if evictions == 0 {
+		t.Fatal("generation change evicted nothing")
+	}
+	// The refreshed entry serves the new generation.
+	if _, err := s2.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	if ps := s2.PlanStats(); ps.Hits != 1 {
+		t.Fatalf("refreshed entry did not serve the new generation: %+v", ps)
+	}
+}
+
+// TestShapeKeySharing: sibling candidates (same structure, different
+// constant terms) share one shape key — the property the fan-out's
+// hit rate rests on — while structurally different queries do not.
+func TestShapeKeySharing(t *testing.T) {
+	a := MustParse(`SELECT DISTINCT ?x WHERE { ?p rdf:type dbont:Person . ?p dbont:author ?x . }`)
+	b := MustParse(`SELECT DISTINCT ?x WHERE { ?p rdf:type dbont:City . ?p dbont:starring ?x . }`)
+	if shapeKey(a) != shapeKey(b) {
+		t.Fatalf("sibling candidates got distinct keys:\n%q\n%q", shapeKey(a), shapeKey(b))
+	}
+	c := MustParse(`SELECT DISTINCT ?x WHERE { ?x dbont:author ?p . ?p rdf:type dbont:Person . }`)
+	if shapeKey(a) == shapeKey(c) {
+		t.Fatalf("different orientation shares a key: %q", shapeKey(a))
+	}
+	d := MustParse(`SELECT ?x WHERE { ?p rdf:type dbont:Person . ?p dbont:author ?x . } LIMIT 5`)
+	e := MustParse(`SELECT ?x WHERE { ?p rdf:type dbont:Person . ?p dbont:author ?x . } LIMIT 9`)
+	if shapeKey(d) != shapeKey(e) {
+		t.Fatal("LIMIT leaked into the shape key")
+	}
+	f := MustParse(`SELECT ?x WHERE { ?p dbont:author ?x . FILTER(?x > 3) }`)
+	g := MustParse(`SELECT ?x WHERE { ?p dbont:author ?x . FILTER(?x > 4) }`)
+	if shapeKey(f) == shapeKey(g) {
+		t.Fatal("filter constants must stay concrete in the key")
+	}
+}
+
+// termRowLess is the test-side oracle for the deterministic default
+// order: compare projected columns by their materialized terms,
+// unbound first — rowLess re-derived independently over the Result
+// surface.
+func termRowLess(r *Result, a, b int) bool {
+	for col := range r.Vars {
+		ta, oka := r.TermAt(a, col)
+		tb, okb := r.TermAt(b, col)
+		if !oka && !okb {
+			continue
+		}
+		if !oka {
+			return true
+		}
+		if !okb {
+			return false
+		}
+		if c := ta.Compare(tb); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// assertTermSorted fails unless the result rows are non-decreasing
+// under the term-order oracle.
+func assertTermSorted(t *testing.T, r *Result, label string) {
+	t.Helper()
+	for i := 1; i < r.Len(); i++ {
+		if termRowLess(r, i, i-1) {
+			t.Fatalf("%s: rows %d/%d out of term order\nresult: %s",
+				label, i-1, i, resultKey(r))
+		}
+	}
+}
+
+// TestRankSortDeterminism: the unstable integer sorts over the
+// term-rank permutation must order results exactly as the stable
+// term-materializing sort did — on adversarial inputs full of ties
+// (duplicate projected tuples) and unbound OPTIONAL cells, across the
+// single-column DISTINCT, multi-column DISTINCT and general paths.
+func TestRankSortDeterminism(t *testing.T) {
+	st := store.New()
+	var batch []rdf.Triple
+	p0, p1 := rdf.Ont("p0"), rdf.Ont("p1")
+	// 60 subjects funneled onto 5 shared objects: every projected value
+	// ties many times over. Only every third subject gets the optional
+	// property, so the second column is unbound for most rows.
+	for i := 0; i < 60; i++ {
+		s := rdf.Res(fmt.Sprintf("S%02d", i))
+		batch = append(batch, rdf.Triple{S: s, P: p0, O: rdf.Res(fmt.Sprintf("V%d", i%5))})
+		if i%3 == 0 {
+			batch = append(batch, rdf.Triple{S: s, P: p1, O: rdf.NewInteger(int64(i % 4))})
+		}
+	}
+	st.AddAll(batch)
+
+	cases := []struct {
+		label string
+		q     *Query
+	}{
+		{"general multi-col with unbound", MustParse(
+			`SELECT ?v ?c WHERE { ?s dbont:p0 ?v . OPTIONAL { ?s dbont:p1 ?c } }`)},
+		{"multi-col DISTINCT with unbound", MustParse(
+			`SELECT DISTINCT ?v ?c WHERE { ?s dbont:p0 ?v . OPTIONAL { ?s dbont:p1 ?c } }`)},
+		{"single-col DISTINCT", MustParse(
+			`SELECT DISTINCT ?v WHERE { ?s dbont:p0 ?v . }`)},
+		{"single-col DISTINCT with unbound", MustParse(
+			`SELECT DISTINCT ?c WHERE { ?s dbont:p0 ?v . OPTIONAL { ?s dbont:p1 ?c } }`)},
+		{"general all-tie projection", MustParse(
+			`SELECT ?v WHERE { ?s dbont:p0 ?v . }`)},
+	}
+	for _, tc := range cases {
+		sess := NewSession(st).WithPlanCache(nil)
+		r, err := sess.Execute(tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if r.Len() == 0 {
+			t.Fatalf("%s: empty result", tc.label)
+		}
+		assertTermSorted(t, r, tc.label)
+		if sess.PlanStats().RankSorts == 0 {
+			t.Fatalf("%s: rank sort never ran", tc.label)
+		}
+		// Byte-identical on repeat and through the cached path: ties are
+		// interchangeable, so the unstable sort may not be observable.
+		cachedSess := NewSession(st).WithPlanCache(NewPlanCache(8))
+		for pass := 0; pass < 2; pass++ {
+			r2, err := cachedSess.Execute(tc.q)
+			if err != nil {
+				t.Fatalf("%s pass %d: %v", tc.label, pass, err)
+			}
+			if resultKey(r2) != resultKey(r) {
+				t.Fatalf("%s pass %d: cached run diverged:\n%s\nvs\n%s",
+					tc.label, pass, resultKey(r2), resultKey(r))
+			}
+		}
+	}
+}
+
+// TestResultMemoHitReplay: a repeated identical query is answered from
+// the plan entry's bound-result memo — counted in ResultHits — and the
+// replay is byte-identical to the computed result. The memo's payload
+// is copied both ways, so mutating a returned Result never corrupts
+// later replays.
+func TestResultMemoHitReplay(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(1)})
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(2)})
+	pc := NewPlanCache(64)
+	q := MustParse(`SELECT ?x WHERE { res:A dbont:p ?x . }`)
+
+	sess := NewSession(st).WithPlanCache(pc)
+	r1, err := sess.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultKey(r1)
+	if ps := sess.PlanStats(); ps.ResultHits != 0 {
+		t.Fatalf("first execution hit the memo: %+v", ps)
+	}
+
+	r2, err := sess.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultKey(r2); got != want {
+		t.Fatalf("memo replay diverged:\n%s\nvs\n%s", got, want)
+	}
+	if ps := sess.PlanStats(); ps.ResultHits != 1 {
+		t.Fatalf("repeat execution not served by the memo: %+v", ps)
+	}
+	if pc.ResultHits() != 1 {
+		t.Fatalf("cache-level ResultHits = %d, want 1", pc.ResultHits())
+	}
+
+	// Corrupt both returned payloads; the memo must be unaffected.
+	for i := range r1.Rows {
+		r1.Rows[i] = 0
+	}
+	for i := range r2.Rows {
+		r2.Rows[i] = 0
+	}
+	r3, err := sess.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultKey(r3); got != want {
+		t.Fatalf("memo aliased a caller's mutation:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestResultMemoWindowKey: LIMIT/OFFSET are absent from the shape key,
+// so they must be part of the bind key — two windows over one shape
+// memoize separately and each replays its own rows.
+func TestResultMemoWindowKey(t *testing.T) {
+	st := store.New()
+	for i := 1; i <= 6; i++ {
+		st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(int64(i))})
+	}
+	pc := NewPlanCache(64)
+	q2 := MustParse(`SELECT ?x WHERE { res:A dbont:p ?x . } LIMIT 2`)
+	q5 := MustParse(`SELECT ?x WHERE { res:A dbont:p ?x . } LIMIT 5`)
+	sess := NewSession(st).WithPlanCache(pc)
+
+	want2, want5 := "", ""
+	for pass := 0; pass < 2; pass++ {
+		r2, err := sess.Execute(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r5, err := sess.Execute(q5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Len() != 2 || r5.Len() != 5 {
+			t.Fatalf("pass %d: window sizes %d/%d, want 2/5", pass, r2.Len(), r5.Len())
+		}
+		if pass == 0 {
+			want2, want5 = resultKey(r2), resultKey(r5)
+			continue
+		}
+		if resultKey(r2) != want2 || resultKey(r5) != want5 {
+			t.Fatalf("pass %d: windowed replay diverged", pass)
+		}
+	}
+	if ps := sess.PlanStats(); ps.ResultHits != 2 {
+		t.Fatalf("ResultHits = %d, want 2 (one per window)", ps.ResultHits)
+	}
+}
+
+// TestResultMemoCrossStore: two stores share the process-wide cache
+// and can sit at equal generations with entirely different
+// dictionaries. The bind key carries the store UID, so one store's
+// memoized result is never replayed for the other (regression: the
+// generation stamp alone cannot tell same-generation stores apart).
+func TestResultMemoCrossStore(t *testing.T) {
+	pc := NewPlanCache(64)
+	q := MustParse(`SELECT ?x WHERE { ?x rdf:type dbont:Person . }`)
+
+	stA := store.New()
+	// Different insertion orders give the two dictionaries different
+	// ID assignments for the same query shape.
+	stA.Add(rdf.Triple{S: rdf.Res("Alice"), P: rdf.Type(), O: rdf.Ont("Person")})
+	stB := store.New()
+	stB.Add(rdf.Triple{S: rdf.Res("Filler"), P: rdf.Ont("p"), O: rdf.NewInteger(9)})
+	stB.Add(rdf.Triple{S: rdf.Res("Bob"), P: rdf.Type(), O: rdf.Ont("Person")})
+
+	sa := NewSession(stA).WithPlanCache(pc)
+	ra, err := sa.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := NewSession(stB).WithPlanCache(pc)
+	rb, err := sb.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA, keyB := resultKey(ra), resultKey(rb)
+	if keyA == keyB {
+		t.Fatal("test setup broken: both stores produced identical results")
+	}
+	// Repeats on both stores must replay their own store's result.
+	ra2, err := sa.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb2, err := sb.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultKey(ra2) != keyA || resultKey(rb2) != keyB {
+		t.Fatalf("cross-store memo bleed: A=%q B=%q (want %q / %q)",
+			resultKey(ra2), resultKey(rb2), keyA, keyB)
+	}
+}
+
+// TestResultMemoGenerationInvalidation: a store write evicts the plan
+// entry, memo included — the next identical query recomputes against
+// the new snapshot instead of replaying stale rows.
+func TestResultMemoGenerationInvalidation(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(1)})
+	pc := NewPlanCache(64)
+	q := MustParse(`SELECT ?x WHERE { res:A dbont:p ?x . }`)
+
+	s1 := NewSession(st).WithPlanCache(pc)
+	for pass := 0; pass < 2; pass++ {
+		if _, err := s1.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ps := s1.PlanStats(); ps.ResultHits != 1 {
+		t.Fatalf("warmup ResultHits = %d, want 1", ps.ResultHits)
+	}
+
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(2)})
+	s2 := NewSession(st).WithPlanCache(pc)
+	r, err := s2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("stale memo served across a write: %d rows, want 2", r.Len())
+	}
+	if ps := s2.PlanStats(); ps.ResultHits != 0 {
+		t.Fatalf("post-write execution replayed a memo: %+v", ps)
+	}
+	r2, err := s2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultKey(r2) != resultKey(r) {
+		t.Fatal("refreshed memo diverged from its own computation")
+	}
+	if ps := s2.PlanStats(); ps.ResultHits != 1 {
+		t.Fatalf("refreshed entry never memoized: %+v", ps)
+	}
+}
+
+// TestResultMemoAsk: ASK results memoize as booleans.
+func TestResultMemoAsk(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.Triple{S: rdf.Res("A"), P: rdf.Ont("p"), O: rdf.NewInteger(1)})
+	sess := NewSession(st).WithPlanCache(NewPlanCache(8))
+	q := MustParse(`ASK { res:A dbont:p ?x . }`)
+	for pass := 0; pass < 2; pass++ {
+		r, err := sess.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Form != FormAsk || !r.Boolean {
+			t.Fatalf("pass %d: ASK = %+v, want true", pass, r)
+		}
+	}
+	if ps := sess.PlanStats(); ps.ResultHits != 1 {
+		t.Fatalf("ASK repeat not memoized: %+v", ps)
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
 	"repro/internal/store"
@@ -83,6 +84,14 @@ type scanEntry struct {
 type Session struct {
 	snap  *store.Snapshot
 	terms []rdf.Term
+	plans *PlanCache // global plan-shape cache; nil = caching disabled
+
+	// Per-session plan/rank observability, read by PlanStats for the
+	// answer traces (the global cache keeps its own cumulative Stats).
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
+	resultHits atomic.Uint64
+	rankSorts  atomic.Uint64
 
 	mu     sync.RWMutex
 	ids    map[rdf.Term]store.ID      // constant resolution; 0 = not in dictionary; guarded by mu
@@ -100,9 +109,46 @@ func NewSession(st *store.Store) *Session {
 // (the staged pipeline pins one snapshot per request and executes the
 // whole question against it). The memo maps initialise lazily so the
 // single-query compatibility path (package-level Execute) pays for
-// memoization only if its query would actually use it.
+// memoization only if its query would actually use it. Sessions
+// consult the process-wide plan cache by default; WithPlanCache
+// overrides (or, with nil, disables) that.
 func NewSnapshotSession(snap *store.Snapshot) *Session {
-	return &Session{snap: snap, terms: snap.TermsView(), budget: scanBudget}
+	return &Session{snap: snap, terms: snap.TermsView(),
+		plans: defaultPlanCache, budget: scanBudget}
+}
+
+// WithPlanCache replaces the session's plan-shape cache: a dedicated
+// cache isolates a workload's shapes, nil disables plan caching so
+// every query compiles its shape from scratch (the differential
+// baseline). Call before the session is shared; it returns s for
+// chaining.
+func (s *Session) WithPlanCache(pc *PlanCache) *Session {
+	s.plans = pc
+	return s
+}
+
+// PlanStatsSnapshot is one session's plan-compilation observability:
+// how many of its compiles hit the shared shape cache, how many
+// missed (miss = shape built and published), how many executions were
+// answered straight from an entry's bound-result memo (ResultHits, a
+// subset of Hits), and how many result sorts ran over the term-rank
+// permutation. Counters are zero when the session's plan cache is
+// disabled — a session without a cache reports no fabricated misses.
+type PlanStatsSnapshot struct {
+	Hits, Misses uint64
+	ResultHits   uint64
+	RankSorts    uint64
+}
+
+// PlanStats returns the session's plan-cache and rank-sort counters.
+// Safe for concurrent use.
+func (s *Session) PlanStats() PlanStatsSnapshot {
+	return PlanStatsSnapshot{
+		Hits:       s.planHits.Load(),
+		Misses:     s.planMisses.Load(),
+		ResultHits: s.resultHits.Load(),
+		RankSorts:  s.rankSorts.Load(),
+	}
 }
 
 // Snapshot returns the pinned snapshot every query of this session
@@ -126,7 +172,7 @@ func (s *Session) ExecuteCtx(ctx context.Context, q *Query) (*Result, error) {
 		//qalint:ignore ctxflow nil-ctx normalization at the public API boundary; callers without a context get an inert root here, never deeper.
 		ctx = context.Background()
 	}
-	return compile(ctx, s, q).run()
+	return compile(ctx, s, q).runMemoized()
 }
 
 // resolve returns the dictionary ID of t in the pinned snapshot,

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func rankStore(n int) *Store {
+	st := New()
+	var batch []rdf.Triple
+	for i := 0; i < n; i++ {
+		batch = append(batch, rdf.Triple{
+			S: rdf.Res(fmt.Sprintf("E%03d", i)),
+			P: rdf.Ont(fmt.Sprintf("p%d", i%7)),
+			O: rdf.NewInteger(int64(i % 13)),
+		})
+	}
+	st.AddAll(batch)
+	return st
+}
+
+// TestTermRanksMatchesCompareOrder: the rank permutation is exactly
+// the dictionary sorted by rdf.Term.Compare — strictly increasing
+// (ranks are injective) with ranks the inverse of order.
+func TestTermRanksMatchesCompareOrder(t *testing.T) {
+	sn := rankStore(100).Snapshot()
+	ranks, order := sn.TermRanks()
+	terms := sn.TermsView()
+	if len(ranks) != len(terms) || len(order) != len(terms) {
+		t.Fatalf("lengths: ranks=%d order=%d dict=%d", len(ranks), len(order), len(terms))
+	}
+	for r := 1; r < len(order); r++ {
+		a, b := terms[order[r-1]-1], terms[order[r]-1]
+		if a.Compare(b) >= 0 {
+			t.Fatalf("order not strictly increasing at rank %d: %v >= %v", r, a, b)
+		}
+	}
+	for r, id := range order {
+		if ranks[id-1] != uint32(r) {
+			t.Fatalf("ranks is not the inverse of order: ranks[%d]=%d want %d",
+				id-1, ranks[id-1], r)
+		}
+	}
+}
+
+// TestTermRanksPerGeneration: a dictionary-growing write publishes a
+// snapshot whose rank table covers the new terms, while the old
+// snapshot's table is untouched.
+func TestTermRanksPerGeneration(t *testing.T) {
+	st := rankStore(50)
+	oldSnap := st.Snapshot()
+	oldRanks, _ := oldSnap.TermRanks()
+	oldLen := len(oldRanks)
+
+	st.Add(rdf.Triple{S: rdf.Res("ZZZ-new"), P: rdf.Ont("p-new"), O: rdf.NewInteger(9999)})
+	newSnap := st.Snapshot()
+	newRanks, newOrder := newSnap.TermRanks()
+	if len(newRanks) != newSnap.TermCount() {
+		t.Fatalf("new table covers %d of %d terms", len(newRanks), newSnap.TermCount())
+	}
+	if len(newRanks) <= oldLen {
+		t.Fatalf("write added no terms to the new table: %d <= %d", len(newRanks), oldLen)
+	}
+	// The old snapshot keeps serving its own (shorter) table.
+	againOld, _ := oldSnap.TermRanks()
+	if len(againOld) != oldLen {
+		t.Fatalf("old snapshot's table changed size: %d -> %d", oldLen, len(againOld))
+	}
+	terms := newSnap.TermsView()
+	for r := 1; r < len(newOrder); r++ {
+		if terms[newOrder[r-1]-1].Compare(terms[newOrder[r]-1]) >= 0 {
+			t.Fatalf("new table out of order at rank %d", r)
+		}
+	}
+}
+
+// TestTermRanksConcurrent: concurrent first calls build the table
+// exactly once (every caller sees the same backing array). Run under
+// -race this pins the once-guarded publication.
+func TestTermRanksConcurrent(t *testing.T) {
+	sn := rankStore(200).Snapshot()
+	const workers = 16
+	got := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w], _ = sn.TermRanks()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if &got[w][0] != &got[0][0] {
+			t.Fatal("concurrent TermRanks built more than one table")
+		}
+	}
+}

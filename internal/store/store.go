@@ -223,6 +223,18 @@ func termShard(t rdf.Term) int {
 	return int(h) & (nDictShards - 1)
 }
 
+// rankTable is the lazily built term-rank permutation of one snapshot
+// generation: the dictionary IDs sorted by rdf.Term.Compare order, and
+// the inverse mapping from ID to sort rank. It hangs off the Snapshot
+// as a plain pointer (writers copy Snapshot by value, so the box must
+// be copyable) and is built at most once per generation via the
+// sync.Once; every session pinning the snapshot shares the build.
+type rankTable struct {
+	once  sync.Once
+	ranks []uint32 // ranks[id-1] = position of id's term in sort order
+	order []ID     // order[rank] = id; the inverse permutation
+}
+
 // Snapshot is an immutable, self-consistent view of the store at one
 // write batch boundary. Pin one with Store.Snapshot and read it for as
 // long as needed — concurrent writers never mutate it and never wait
@@ -236,7 +248,12 @@ type Snapshot struct {
 	osp     *index
 	size    int
 	gen     uint64
+	uid     uint64     // owning store's process-unique identity
+	ranks   *rankTable // fresh (empty) box per published generation
 }
+
+// storeUIDs issues process-unique store identities (see Snapshot.UID).
+var storeUIDs atomic.Uint64
 
 // Store is an indexed, dictionary-encoded triple store with wait-free
 // snapshot reads. The zero value is not usable; call New.
@@ -250,10 +267,12 @@ type Store struct {
 func New() *Store {
 	s := &Store{}
 	s.snap.Store(&Snapshot{
-		d:   &dict{shards: make([]*dictShard, nDictShards)},
-		spo: &index{},
-		pos: &index{},
-		osp: &index{},
+		d:     &dict{shards: make([]*dictShard, nDictShards)},
+		spo:   &index{},
+		pos:   &index{},
+		osp:   &index{},
+		uid:   storeUIDs.Add(1),
+		ranks: &rankTable{},
 	})
 	return s
 }
@@ -277,6 +296,15 @@ func (sn *Snapshot) TermCount() int { return len(sn.inverse) }
 // no-op write call may skip numbers without publishing) and equal
 // generations imply identical contents.
 func (sn *Snapshot) Gen() uint64 { return sn.gen }
+
+// UID returns the owning store's process-unique identity, constant
+// across the store's lifetime and never reused within a process.
+// Generations are only comparable between snapshots of the same store;
+// (UID, Gen) identifies a snapshot's contents process-wide, which is
+// what cross-store consumers of generation-stamped caches key on (the
+// SPARQL plan cache's bound-result memo — two stores can reach equal
+// generations with entirely different dictionaries).
+func (sn *Snapshot) UID() uint64 { return sn.uid }
 
 // Lookup returns the ID of t if it is in the dictionary.
 func (sn *Snapshot) Lookup(t rdf.Term) (ID, bool) {
@@ -303,6 +331,38 @@ func (sn *Snapshot) Term(id ID) rdf.Term {
 // surface the SPARQL executor materialises final results through.
 func (sn *Snapshot) TermsView() []rdf.Term {
 	return sn.inverse[:len(sn.inverse):len(sn.inverse)]
+}
+
+// TermRanks returns the snapshot's term-rank permutation: ranks[id-1]
+// is the position of id's term in the rdf.Term.Compare order of the
+// whole dictionary, and order[r] maps a rank back to its ID. Because
+// Compare is a strict total order on distinct terms (it returns 0 only
+// for identical terms) and the dictionary never interns a term twice,
+// distinct IDs always receive distinct ranks — comparing ranks as
+// integers is exactly comparing the terms, which is what lets the
+// SPARQL executor sort result rows without materialising a single
+// term. The table is built lazily, once per snapshot generation; every
+// session pinning the snapshot shares the build (the sync.Once
+// publishes the slices with the necessary happens-before edge). Both
+// slices are immutable and must not be modified.
+func (sn *Snapshot) TermRanks() (ranks []uint32, order []ID) {
+	rt := sn.ranks
+	rt.once.Do(func() {
+		inv := sn.inverse[:len(sn.inverse):len(sn.inverse)]
+		ord := make([]ID, len(inv))
+		for i := range ord {
+			ord[i] = ID(i + 1)
+		}
+		sort.Slice(ord, func(a, b int) bool {
+			return inv[ord[a]-1].Compare(inv[ord[b]-1]) < 0
+		})
+		rk := make([]uint32, len(inv))
+		for r, id := range ord {
+			rk[id-1] = uint32(r)
+		}
+		rt.ranks, rt.order = rk, ord
+	})
+	return rt.ranks, rt.order
 }
 
 // patternIDs resolves the bound terms of pat to IDs, with ID(0) for
@@ -654,6 +714,10 @@ func (s *Store) commit(w *writer) {
 		return
 	}
 	w.next.gen = w.gen
+	// A dirty batch may have grown the dictionary, so the published
+	// snapshot gets a fresh, unbuilt rank box. (SetGen's republish keeps
+	// the old box: identical contents have identical ranks.)
+	w.next.ranks = &rankTable{}
 	sn := w.next
 	s.snap.Store(&sn)
 }

@@ -16,9 +16,18 @@
 # resilience layer (PR 8: BenchmarkAdmissionAcquireRelease is the
 # adaptive limiter's uncontended per-request hot path,
 # BenchmarkChaosHitDisabled is the inert fault-point tax every stage
-# boundary pays in production) — and emits BENCH_PR8.json with ns/op
-# and allocs/op per benchmark, so later PRs have a perf trajectory to
-# compare against.
+# boundary pays in production), and the plan-shape cache (PR 9:
+# BenchmarkPlanCacheHit vs BenchmarkPlanCacheMiss is the per-candidate
+# compile cost with the shape cache warm vs. detached, and
+# BenchmarkRankSort the ORDER-BY-less deterministic sort now running
+# over the term-rank permutation; the Extract benchmarks additionally
+# report planhit% — the plan-cache hit rate over the measured loop —
+# and their steady state now measures the entries' bound-result memo,
+# which replays repeated candidates without re-joining, so the
+# Sequential/Sessionless gap narrows to the first, memo-cold pass) —
+# and emits BENCH_PR9.json with
+# ns/op and allocs/op per benchmark, so later PRs have a perf
+# trajectory to compare against.
 #
 # The BenchmarkAnswerCtx / BenchmarkAnswerThroughput comparability pair
 # (the stage-framework-overhead bound) runs in its own `go test`
@@ -41,20 +50,20 @@
 #                benchmarks: exercises every tentpole path, produces no
 #                JSON. This is the single place the CI smoke regex
 #                lives; .github/workflows/ci.yml just calls it.
-#   output.json  full run; writes the JSON (default BENCH_PR8.json).
+#   output.json  full run; writes the JSON (default BENCH_PR9.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The benchmark selections, defined once for every mode.
-bench_full='BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$'
+bench_full='BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$|BenchmarkPlanCache(Hit|Miss)$|BenchmarkRankSort$'
 bench_pair='BenchmarkAnswer(Throughput|Ctx)$'
-bench_smoke='BenchmarkStore|BenchmarkExtract(Sequential|Parallel|Sessionless)$|BenchmarkBGPJoin(Idle|UnderLoad)$|BenchmarkAnswerCtx$|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$'
+bench_smoke='BenchmarkStore|BenchmarkExtract(Sequential|Parallel|Sessionless)$|BenchmarkBGPJoin(Idle|UnderLoad)$|BenchmarkAnswerCtx$|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$|BenchmarkPlanCache(Hit|Miss)$|BenchmarkRankSort$'
 
 if [ "${1:-}" = "smoke" ]; then
   exec go test -run '^$' -bench "$bench_smoke" -benchtime=20x -benchmem .
 fi
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' -bench "$bench_full" -benchmem -benchtime="$benchtime" .)"

@@ -12,6 +12,15 @@
 # Inspect interactively afterwards:
 #   go tool pprof <outdir>/cpu.prof
 #   go tool pprof -sample_index=alloc_objects <outdir>/mem.prof
+#
+# Before/after flamegraph diff (how the PR 9 shape-cache numbers were
+# taken): profile the same BENCH on the base commit and on the change
+# into two outdirs, then diff the profiles directly —
+#   go tool pprof -http=:8080 -diff_base before/cpu.prof after/cpu.prof
+# The PR 9 fan-out diff shows the compile-side frames (buildShape,
+# filter/projection wiring, sort.Ints boxing) collapsing into the
+# plancache Get path, and the default-order sort's Term.Compare /
+# materialization frames replaced by the flat rank-key sort.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +28,18 @@ outdir="${1:-/tmp/qa-profiles}"
 bench="${BENCH:-BenchmarkExtractSequential}"
 benchtime="${BENCHTIME:-1000x}"
 mkdir -p "$outdir"
+
+# Fail fast (and clearly) when BENCH names no benchmark: go test would
+# otherwise exit 0 having profiled nothing, and pprof would then choke
+# on the empty profiles. (Capture first rather than piping into
+# `grep -q`: under pipefail, grep's early exit SIGPIPEs go test and the
+# pipeline reports failure exactly when the benchmark exists.)
+listed="$(go test -run '^$' -list "^${bench}\$" .)"
+if ! grep -q '^Benchmark' <<<"$listed"; then
+  echo "profile.sh: BENCH=${bench} matches no benchmark in the root package" >&2
+  echo "profile.sh: list them with: go test -run '^\$' -list 'Benchmark.*' ." >&2
+  exit 1
+fi
 
 go test -run '^$' -bench "^${bench}\$" -benchtime "$benchtime" \
   -cpuprofile "$outdir/cpu.prof" -memprofile "$outdir/mem.prof" .

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	qaserve [-addr :8080] [-timeout 5s] [-max-inflight 64] [-cache 1024]
-//	        [-plan-cache N]
+//	        [-plan-cache N] [-shards N]
 //	        [-parallel N] [-kb file.nt] [-data-dir dir] [-update-token T]
 //	        [-drain 15s] [-extensions]
 //	        [-adaptive-admission] [-admission-target 500ms]
@@ -42,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/qaserve"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -62,6 +63,7 @@ func main() {
 	planCache := flag.Int("plan-cache", 0, "SPARQL plan-shape cache: 0 = process-wide default, >0 = dedicated cache of that many shapes, <0 = disabled")
 	negTTL := flag.Duration("cache-negative-ttl", 0, "expire cached non-answers after this long (0 = keep until the KB changes)")
 	parallel := flag.Int("parallel", 0, "candidate-query fan-out workers per question (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "run the in-process sharded scatter-gather tier: N subject-partitioned shards with hedged retries, per-shard circuit breakers and opt-in partial answers (0 = single store; incompatible with -data-dir)")
 	kbPath := flag.String("kb", "", "load the knowledge base from an .nt/.ttl file instead of the built-in one")
 	dataDir := flag.String("data-dir", "", "durable data directory; enables /v1/update (WAL + snapshot segments, crash recovery on start)")
 	updateToken := flag.String("update-token", "", "bearer token required by /v1/update (empty = also read QASERVE_UPDATE_TOKEN; both empty = open)")
@@ -73,6 +75,15 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "qaserve:", err)
 		os.Exit(1)
+	}
+
+	if *shards < 0 {
+		fail(fmt.Errorf("-shards %d: shard count must be >= 0", *shards))
+	}
+	if *shards > 0 && *dataDir != "" {
+		// The WAL manager owns the single source store; replaying a log
+		// into a shard fan-out is future work (see ROADMAP.md).
+		fail(errors.New("-shards is incompatible with -data-dir: sharded serving is in-memory only"))
 	}
 
 	var injector *chaos.Injector
@@ -170,6 +181,21 @@ func main() {
 			return // signal during recovery: nothing opened yet, stop here
 		}
 
+		// Sharded serving: partition the source store by subject hash
+		// into an in-process scatter-gather tier. The cluster is also the
+		// update path — /v1/update batches mirror into every shard.
+		var cluster *shard.Cluster
+		if *shards > 0 {
+			if cfg.KB == nil {
+				// No -kb: shard a private copy of the built-in KB (the
+				// shared default must never be mutated through updates).
+				cfg.KB = kb.Build(kb.DefaultConfig())
+			}
+			fmt.Fprintf(os.Stderr, "qaserve: partitioning into %d shards...\n", *shards)
+			cluster = shard.NewCluster(cfg.KB.Store, *shards, shard.Config{})
+			cfg.Cluster = cluster
+		}
+
 		fmt.Fprintf(os.Stderr, "qaserve: building pipeline (mining patterns)...\n")
 		start := time.Now()
 		sys := core.New(cfg)
@@ -211,6 +237,10 @@ func main() {
 		}
 		if res.manager != nil {
 			scfg.Updater = res.manager
+		}
+		if cluster != nil {
+			scfg.Cluster = cluster
+			scfg.Updater = cluster // mutually exclusive with -data-dir's manager
 		}
 		res.srv = qaserve.New(scfg)
 	}()

@@ -48,6 +48,7 @@ import (
 	"repro/internal/propmap"
 	"repro/internal/qacache"
 	"repro/internal/rdf"
+	"repro/internal/shard"
 	"repro/internal/sparql"
 	"repro/internal/store"
 	"repro/internal/triplex"
@@ -110,6 +111,17 @@ type Config struct {
 	// from scratch (the differential baseline). Answers are identical at
 	// every setting.
 	PlanCacheSize int
+
+	// Cluster mounts the fault-tolerant scatter-gather tier
+	// (internal/shard): when non-nil, the answer stage executes every
+	// request over a gather view of the cluster instead of a direct KB
+	// snapshot. The cluster's source store must be KB.Store — the
+	// coordinator plans against the same dictionary and statistics the
+	// single-store system would. Requests opting into partial answers
+	// (shard.WithPartialOK on the request context) degrade instead of
+	// failing when shards are down; others fail fast with
+	// StatusUnavailable. nil (the default) keeps the single-store path.
+	Cluster *shard.Cluster
 
 	// NegativeTTL additionally expires cached *negative* results
 	// (anything but StatusAnswered) this long after they were computed,
@@ -177,6 +189,9 @@ type System struct {
 	// execution session (nil = plan caching disabled; see
 	// Config.PlanCacheSize).
 	plans *sparql.PlanCache
+
+	// cluster is the sharded scatter-gather tier (nil = single-store).
+	cluster *shard.Cluster
 }
 
 var (
@@ -222,6 +237,7 @@ func New(cfg Config) *System {
 		s.plans = sparql.DefaultPlanCache()
 	}
 	s.triplexOpts = triplex.Options{Superlatives: cfg.EnableSuperlatives}
+	s.cluster = cfg.Cluster
 
 	if cfg.CacheSize > 0 {
 		s.cache = qacache.New[*Result](cfg.CacheSize)
@@ -262,6 +278,11 @@ const (
 	// the stage boundary or an injected chaos fault; Err carries the
 	// typed error. Never cached.
 	StatusInternal
+	// StatusUnavailable: a shard of the scatter-gather tier could not
+	// be reached and the request did not opt into partial answers; Err
+	// wraps shard.ErrUnavailable. The serving layer maps it to 503 +
+	// Retry-After. Transient, so never cached.
+	StatusUnavailable
 )
 
 // String names the status.
@@ -283,6 +304,8 @@ func (s Status) String() string {
 		return "over budget"
 	case StatusInternal:
 		return "internal error"
+	case StatusUnavailable:
+		return "shard unavailable"
 	default:
 		return "unknown"
 	}
@@ -305,6 +328,14 @@ type Result struct {
 	// time, candidate counts and cache hit/miss.
 	Trace *pipeline.Trace
 
+	// Degraded marks a partial answer from a sharded system: at least
+	// one shard was skipped under the caller's allow_partial opt-in,
+	// so Answers may be a subset of the full KB's. ShardsTotal and
+	// ShardsAnswered give the exact shape (both zero on single-store
+	// systems). Degraded results are never cached.
+	Degraded                    bool
+	ShardsTotal, ShardsAnswered int
+
 	// snap is the KB snapshot pinned at request start: the answer stage
 	// builds its per-question sparql.Session over it, so everything
 	// §2.3 executes reads exactly this state. snapGen is its
@@ -315,6 +346,9 @@ type Result struct {
 	// held Results and cache entries never retain retired snapshots.
 	snap    *store.Snapshot
 	snapGen uint64
+	// view is the sharded gather view when the System runs over a
+	// shard.Cluster (then snap is nil); cleared with snap.
+	view *shard.View
 }
 
 // Answered reports whether the pipeline produced an answer.
@@ -459,14 +493,37 @@ type answerStage struct{ s *System }
 
 func (st answerStage) Name() string { return StageAnswer }
 func (st answerStage) Run(ctx context.Context, res *Result, tr *StageTrace) error {
-	// One question = one execution session = one snapshot pin: every
+	// One question = one execution session = one store view pin: every
 	// candidate query, the COUNT retry and the type filter read the
-	// snapshot AnswerCtx pinned at request entry.
-	sess := sparql.NewSnapshotSession(res.snap).WithPlanCache(st.s.plans)
+	// view AnswerCtx pinned at request entry — a direct KB snapshot,
+	// or the sharded gather view when the System runs over a cluster.
+	var sess *sparql.Session
+	if res.view != nil {
+		sess = sparql.NewViewSession(res.view)
+	} else {
+		sess = sparql.NewSnapshotSession(res.snap)
+	}
+	sess = sess.WithPlanCache(st.s.plans)
 	ans, err := st.s.extractor.ExtractSessionCtx(ctx, res.Mapping, sess)
 	ps := sess.PlanStats()
 	tr.PlanCacheHits, tr.PlanCacheMisses = ps.Hits, ps.Misses
 	tr.PlanResultHits, tr.RankSorts = ps.ResultHits, ps.RankSorts
+	if res.view != nil {
+		out := res.view.Outcome()
+		res.ShardsTotal, res.ShardsAnswered = out.ShardsTotal, out.ShardsAnswered
+		res.Degraded = out.Degraded
+		tr.ShardsTotal, tr.ShardsAnswered = out.ShardsTotal, out.ShardsAnswered
+		tr.Degraded = out.Degraded
+		if verr := res.view.Err(); verr != nil {
+			// Fail-fast: a shard was unreachable and the caller did not
+			// opt into partial answers. Cancellation wins if both raced.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			tr.Err = verr.Error()
+			return verr // AnswerCtx maps it to StatusUnavailable
+		}
+	}
 	if err != nil {
 		if errors.Is(err, pipeline.ErrBudgetExceeded) {
 			return err // early shed: AnswerCtx maps it to StatusOverBudget
@@ -514,14 +571,24 @@ func (s *System) Answer(question string) *Result {
 // each stage that ran.
 func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
 	res := &Result{Question: strings.TrimSpace(question)}
-	res.snap = s.KB.Store.Snapshot()
-	res.snapGen = res.snap.Gen()
+	if s.cluster != nil {
+		// Sharded: pin one gather view (source snapshot + every shard
+		// snapshot, consistent under the cluster lock). The view reads
+		// the request context for the partial-answer opt-in and carries
+		// it into every shard call.
+		res.view = s.cluster.NewView(ctx)
+		res.snapGen = res.view.Gen()
+	} else {
+		res.snap = s.KB.Store.Snapshot()
+		res.snapGen = res.snap.Gen()
+	}
 	tr, err := pipeline.Run(ctx, s.stages, res)
 	res.Trace = tr
-	// The snapshot is only needed while the stages run; drop the pin so
+	// The pinned view is only needed while the stages run; drop it so
 	// callers (or cache entries) holding Results do not retain retired
 	// snapshots against a store that keeps writing.
 	res.snap = nil
+	res.view = nil
 	if err != nil {
 		// None of these outcomes is cached: they depend on the request's
 		// deadline (budget, cancellation) or on transient faults, not on
@@ -531,6 +598,8 @@ func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
 			res.Status = StatusOverBudget
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			res.Status = StatusCanceled
+		case errors.Is(err, shard.ErrUnavailable):
+			res.Status = StatusUnavailable
 		default:
 			// A recovered stage panic (*pipeline.PanicError) or an
 			// injected chaos fault.
@@ -539,10 +608,12 @@ func (s *System) AnswerCtx(ctx context.Context, question string) *Result {
 		res.Err = err
 		return res
 	}
-	if s.cache != nil && !tr.CacheHit() {
+	if s.cache != nil && !tr.CacheHit() && !res.Degraded {
 		// Cache the terminal result (any status: failure outcomes are
-		// deterministic too) without the request-scoped trace, stamped
-		// with the generation the request executed against.
+		// deterministic too — but never a degraded partial answer, which
+		// reflects transient shard health, not the question) without the
+		// request-scoped trace, stamped with the generation the request
+		// executed against.
 		cached := *res
 		cached.Trace = nil
 		key := qacache.Normalize(res.Question)

@@ -14,17 +14,20 @@ import (
 // recovery and shedding behaviour untestable without sleeps. The PR 9
 // plan-shape cache is deliberately time-free; the scope covers it so
 // any future expiry arrives as an injected clock, not a stray
-// time.Now.
+// time.Now. The PR 10 shard failure domains (attempt timeouts, hedge
+// delays, backoff, breaker cooldowns) are in scope for the same
+// reason: their transition tests run on a fake clock.
 var ClockInject = &Analyzer{
 	Name: "clockinject",
-	Doc:  "no time.Now/Since/Until in internal/{qacache,wal,store,admission,chaos,sparql/plancache} — use the injected clock",
+	Doc:  "no time.Now/Since/Until in internal/{qacache,wal,store,admission,chaos,shard,sparql/plancache} — use the injected clock",
 	Run:  runClockInject,
 }
 
 // clockInjectScope is where the invariant applies.
 var clockInjectScope = []string{
 	"internal/qacache", "internal/wal", "internal/store",
-	"internal/admission", "internal/chaos", "internal/sparql/plancache",
+	"internal/admission", "internal/chaos", "internal/shard",
+	"internal/sparql/plancache",
 }
 
 // wallClockFuncs are the time functions that read the process clock.

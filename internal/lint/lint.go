@@ -44,6 +44,7 @@ var Analyzers = []*Analyzer{
 	WalFS,
 	ClockInject,
 	GuardedField,
+	ShardDomain,
 }
 
 // Pass carries one analyzer's view of one package.

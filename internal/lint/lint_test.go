@@ -119,6 +119,7 @@ func TestCtxFlow(t *testing.T)      { runTestdata(t, "ctxflow") }
 func TestWalFS(t *testing.T)        { runTestdata(t, "walfs") }
 func TestClockInject(t *testing.T)  { runTestdata(t, "clockinject") }
 func TestGuardedField(t *testing.T) { runTestdata(t, "guardedfield") }
+func TestShardDomain(t *testing.T)  { runTestdata(t, "sharddomain") }
 
 // TestWaivers proves the waiver engine end to end: a reasoned waiver
 // suppresses exactly the named analyzer on its own line or the next,

@@ -1,0 +1,10 @@
+// Package gather is outside the sharddomain scope: other packages may
+// read snapshots directly (they are not shard calls).
+package gather
+
+import "repro/internal/store"
+
+// Direct reads triple data outside internal/shard — no finding.
+func Direct(sn *store.Snapshot, a, b, c store.ID) bool {
+	return sn.HasIDs(a, b, c)
+}

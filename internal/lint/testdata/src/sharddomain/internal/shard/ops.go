@@ -1,0 +1,23 @@
+package shard
+
+import "repro/internal/store"
+
+// opScan reads triple data inside the confined file — compliant.
+func opScan(sn *store.Snapshot, pat [3]store.ID) []store.ID {
+	var out []store.ID
+	sn.ForEachMatchIDs(pat, func(a, b, c store.ID) bool {
+		out = append(out, a, b, c)
+		return true
+	})
+	return out
+}
+
+// opHas reads triple data inside the confined file — compliant.
+func opHas(sn *store.Snapshot, a, b, c store.ID) bool {
+	return sn.HasIDs(a, b, c)
+}
+
+// opPostingList reads triple data inside the confined file — compliant.
+func opPostingList(sn *store.Snapshot, pat [3]store.ID) ([]store.ID, bool) {
+	return sn.PostingList(pat)
+}

@@ -1,0 +1,42 @@
+// Package shard exercises sharddomain: triple-data reads off a store
+// snapshot belong in ops.go; anywhere else bypasses the failure
+// domain.
+package shard
+
+import "repro/internal/store"
+
+// View gathers over shard snapshots.
+type View struct {
+	shards []*store.Snapshot
+}
+
+// HasIDs shares a name with the snapshot method; defining and calling
+// the View's own surface is compliant.
+func (v *View) HasIDs(a, b, c store.ID) bool {
+	return opHas(v.shards[0], a, b, c)
+}
+
+// Shortcut reads a shard snapshot directly — a shard call that never
+// enters the failure domain.
+func (v *View) Shortcut(a, b, c store.ID) bool {
+	if v.shards[0].HasIDs(a, b, c) { // want `store snapshot HasIDs outside ops\.go`
+		return true
+	}
+	lst, ok := v.shards[0].PostingList([3]store.ID{0, b, c}) // want `store snapshot PostingList outside ops\.go`
+	return ok && len(lst) > 0
+}
+
+// Sum reads coordinator-local statistics — unrestricted.
+func (v *View) Sum() int {
+	n := 0
+	for _, sn := range v.shards {
+		n += sn.Len()
+	}
+	return n
+}
+
+// waived is a domain bypass with a reasoned waiver — suppressed.
+func (v *View) waived(pat [3]store.ID) {
+	//qalint:ignore sharddomain testdata exercises the waiver path.
+	v.shards[0].ForEachMatchIDs(pat, func(a, b, c store.ID) bool { return true })
+}

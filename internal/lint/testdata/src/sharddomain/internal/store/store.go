@@ -1,0 +1,21 @@
+// Package store mirrors the real store's snapshot read surface for
+// the sharddomain testdata.
+package store
+
+// ID is a dense term identifier.
+type ID uint32
+
+// Snapshot is the immutable read surface.
+type Snapshot struct{}
+
+// HasIDs is a triple-data read.
+func (s *Snapshot) HasIDs(a, b, c ID) bool { return false }
+
+// ForEachMatchIDs is a triple-data read.
+func (s *Snapshot) ForEachMatchIDs(pat [3]ID, fn func(a, b, c ID) bool) {}
+
+// PostingList is a triple-data read.
+func (s *Snapshot) PostingList(pat [3]ID) ([]ID, bool) { return nil, false }
+
+// Len is a statistics read — coordinator-local, unrestricted.
+func (s *Snapshot) Len() int { return 0 }

@@ -126,6 +126,14 @@ type StageTrace struct {
 	PlanCacheHits, PlanCacheMisses uint64
 	PlanResultHits                 uint64
 	RankSorts                      uint64
+	// ShardsTotal / ShardsAnswered record the answer stage's
+	// scatter-gather shape when the system runs sharded (internal/
+	// shard): how many shards the cluster has and how many served this
+	// request's reads. Degraded marks a partial answer (some shard was
+	// skipped under the caller's allow_partial opt-in). All zero/false
+	// for single-store systems and non-answer stages.
+	ShardsTotal, ShardsAnswered int
+	Degraded                    bool
 	// Err is the stage's terminal error text ("" for success). Set for
 	// both early-stop failure outcomes and cancellation.
 	Err string

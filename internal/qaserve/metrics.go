@@ -53,6 +53,9 @@ type metrics struct {
 	requestsShed     atomic.Uint64 // deadline-budget sheds (spent at admission, or over the cost model)
 	requestsInternal atomic.Uint64 // 500s: recovered pipeline panics and injected faults
 
+	requestsUnavailable atomic.Uint64 // 503s: shard unreachable without allow_partial
+	partialAnswers      atomic.Uint64 // degraded 200s served under allow_partial
+
 	updatesOK       atomic.Uint64
 	updatesBad      atomic.Uint64
 	updatesDenied   atomic.Uint64
@@ -98,6 +101,11 @@ func (m *metrics) render(sb *strings.Builder) {
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"timeout\"} %d\n", m.requestsTimeout.Load())
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"shed\"} %d\n", m.requestsShed.Load())
 	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"error\"} %d\n", m.requestsInternal.Load())
+	fmt.Fprintf(sb, "qaserve_requests_total{outcome=\"unavailable\"} %d\n", m.requestsUnavailable.Load())
+
+	fmt.Fprintf(sb, "# HELP qaserve_shard_partial_answers_total Degraded partial answers served under allow_partial.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_shard_partial_answers_total counter\n")
+	fmt.Fprintf(sb, "qaserve_shard_partial_answers_total %d\n", m.partialAnswers.Load())
 
 	fmt.Fprintf(sb, "# HELP qaserve_updates_total SPARQL UPDATE requests by outcome.\n")
 	fmt.Fprintf(sb, "# TYPE qaserve_updates_total counter\n")

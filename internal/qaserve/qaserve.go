@@ -62,6 +62,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // Config assembles a Server.
@@ -106,6 +107,12 @@ type Config struct {
 	// UpdateTimeout bounds one /v1/update commit (0 falls back to
 	// RequestTimeout).
 	UpdateTimeout time.Duration
+	// Cluster is the sharded scatter-gather tier the System executes
+	// over, when it runs sharded (core.Config.Cluster): the server only
+	// uses it for observability — per-shard failure-domain counters and
+	// breaker states on /metrics and shard info on the health payloads.
+	// Nil for single-store systems.
+	Cluster *shard.Cluster
 	// BatchParallelism bounds the worker pool a /v1/answer/batch
 	// request fans its questions across: 0 uses GOMAXPROCS, 1 (or any
 	// negative value) answers sequentially. Every worker beyond the
@@ -130,6 +137,7 @@ type Server struct {
 	sem           chan struct{}      // static admission; nil = unlimited
 	limiter       *admission.Limiter // adaptive admission; nil = static sem path
 	chaos         *chaos.Injector    // nil = fault points inert
+	cluster       *shard.Cluster     // nil = single-store
 	m             *metrics
 }
 
@@ -138,7 +146,7 @@ func New(cfg Config) *Server {
 	s := &Server{sys: cfg.Sys, timeout: cfg.RequestTimeout, maxBatch: cfg.MaxBatch,
 		batchWorkers: cfg.BatchParallelism, updater: cfg.Updater,
 		updateToken: cfg.UpdateToken, updateTimeout: cfg.UpdateTimeout,
-		chaos: cfg.Chaos, m: newMetrics()}
+		chaos: cfg.Chaos, cluster: cfg.Cluster, m: newMetrics()}
 	if s.maxBatch <= 0 {
 		s.maxBatch = 64
 	}
@@ -181,11 +189,22 @@ func (s *Server) Handler() http.Handler {
 // AnswerRequest is the /v1/answer body.
 type AnswerRequest struct {
 	Question string `json:"question"`
+	// AllowPartial opts the request into degraded partial answers on a
+	// sharded system: when shards are unreachable, the live shards
+	// answer and the response is stamped degraded with shards_total /
+	// shards_answered. Without it an unreachable shard fails the
+	// request with 503 + Retry-After. Ignored on single-store systems.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // BatchRequest is the /v1/answer/batch body.
 type BatchRequest struct {
 	Questions []string `json:"questions"`
+	// AllowPartial applies the /v1/answer opt-in to every question of
+	// the batch; each per-question result carries its own degraded
+	// stamp (one question may hit an open breaker while its neighbours
+	// answer complete).
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // StageTrace is the JSON projection of one pipeline stage record.
@@ -201,19 +220,31 @@ type StageTrace struct {
 	PlanCacheMisses uint64 `json:"plan_cache_misses,omitempty"`
 	PlanResultHits  uint64 `json:"plan_result_hits,omitempty"`
 	RankSorts       uint64 `json:"rank_sorts,omitempty"`
-	Error           string `json:"error,omitempty"`
+	// Scatter-gather shape of the answer stage on a sharded system.
+	ShardsTotal    int    `json:"shards_total,omitempty"`
+	ShardsAnswered int    `json:"shards_answered,omitempty"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	Error          string `json:"error,omitempty"`
 }
 
 // AnswerResponse is the JSON projection of one pipeline Result.
 type AnswerResponse struct {
-	Question      string       `json:"question"`
-	Status        string       `json:"status"`
-	Answered      bool         `json:"answered"`
-	Answers       []string     `json:"answers,omitempty"`
-	WinningSPARQL string       `json:"winning_sparql,omitempty"`
-	Error         string       `json:"error,omitempty"`
-	CacheHit      bool         `json:"cache_hit"`
-	Trace         []StageTrace `json:"trace,omitempty"`
+	Question      string   `json:"question"`
+	Status        string   `json:"status"`
+	Answered      bool     `json:"answered"`
+	Answers       []string `json:"answers,omitempty"`
+	WinningSPARQL string   `json:"winning_sparql,omitempty"`
+	Error         string   `json:"error,omitempty"`
+	CacheHit      bool     `json:"cache_hit"`
+	// Degraded marks a partial answer (allow_partial was set and at
+	// least one shard was skipped); ShardsTotal / ShardsAnswered give
+	// the exact scatter shape on any sharded answer, healthy or not
+	// (recovery to undegraded is visible as answered == total). All
+	// absent on single-store systems.
+	Degraded       bool         `json:"degraded,omitempty"`
+	ShardsTotal    int          `json:"shards_total,omitempty"`
+	ShardsAnswered int          `json:"shards_answered,omitempty"`
+	Trace          []StageTrace `json:"trace,omitempty"`
 }
 
 // BatchResponse is the /v1/answer/batch reply.
@@ -276,9 +307,13 @@ func (s *Server) acquire(w http.ResponseWriter, p admission.Priority) func() {
 // context plus the given timeout (the configured one, possibly lowered
 // by the client's budget header) and records its trace metrics. The
 // chaos injector, when configured, rides the context so stage-boundary
-// fault points can fire.
-func (s *Server) answer(r *http.Request, question string, timeout time.Duration) *core.Result {
+// fault points can fire; partial opts the request into degraded
+// answers on a sharded system (shard.WithPartialOK).
+func (s *Server) answer(r *http.Request, question string, timeout time.Duration, partial bool) *core.Result {
 	ctx := chaos.With(r.Context(), s.chaos)
+	if partial {
+		ctx = shard.WithPartialOK(ctx)
+	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -286,6 +321,12 @@ func (s *Server) answer(r *http.Request, question string, timeout time.Duration)
 	}
 	res := s.sys.AnswerCtx(ctx, question)
 	s.observe(res)
+	// Count partial answers actually served: a fail-fast 503 and a
+	// timed-out request also carry an honest degraded stamp, but the
+	// client got no answer from it.
+	if res.Degraded && res.Status != core.StatusUnavailable && res.Status != core.StatusCanceled {
+		s.m.partialAnswers.Add(1)
+	}
 	return res
 }
 
@@ -320,6 +361,8 @@ func (s *Server) toResponse(res *core.Result) AnswerResponse {
 		Answers:       res.AnswerStrings(s.sys.KB),
 		WinningSPARQL: res.WinningSPARQL(),
 		CacheHit:      res.CacheHit(),
+		Degraded:      res.Degraded,
+		ShardsTotal:   res.ShardsTotal, ShardsAnswered: res.ShardsAnswered,
 	}
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
@@ -335,6 +378,9 @@ func (s *Server) toResponse(res *core.Result) AnswerResponse {
 				PlanCacheMisses: st.PlanCacheMisses,
 				PlanResultHits:  st.PlanResultHits,
 				RankSorts:       st.RankSorts,
+				ShardsTotal:     st.ShardsTotal,
+				ShardsAnswered:  st.ShardsAnswered,
+				Degraded:        st.Degraded,
 				Error:           st.Err,
 			})
 		}
@@ -372,7 +418,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res := s.answer(r, req.Question, budget)
+	res := s.answer(r, req.Question, budget, req.AllowPartial)
 	switch res.Status {
 	case core.StatusCanceled:
 		if r.Context().Err() != nil {
@@ -385,6 +431,13 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		// execution: the request was shed before the fan-out burned CPU,
 		// and the client learns when to retry.
 		s.m.requestsShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, s.toResponse(res))
+	case core.StatusUnavailable:
+		// A shard was unreachable and the request did not allow partial
+		// answers: the client can retry (the breaker cooldown is short)
+		// or resend with allow_partial for a degraded answer now.
+		s.m.requestsUnavailable.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, s.toResponse(res))
 	case core.StatusInternal:
@@ -467,7 +520,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Sequential reference path (BatchParallelism 1, or a
 		// single-question batch).
 		for i, q := range req.Questions {
-			res := s.answer(r, q, budget)
+			res := s.answer(r, q, budget, req.AllowPartial)
 			if res.Status == core.StatusCanceled && r.Context().Err() != nil {
 				return // client went away mid-batch
 			}
@@ -492,7 +545,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					if i >= len(req.Questions) || r.Context().Err() != nil {
 						return
 					}
-					results[i] = s.answer(r, req.Questions[i], budget)
+					results[i] = s.answer(r, req.Questions[i], budget, req.AllowPartial)
 				}
 			}()
 		}
@@ -517,12 +570,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // answers both). The snapshot info rides along for operators.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := s.sys.KB.Store.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":     "ok",
 		"triples":    sn.Len(),
 		"generation": sn.Gen(),
 		"inflight":   s.m.inflight.Load(),
-	})
+	}
+	if s.cluster != nil {
+		body["shards"] = s.cluster.N()
+		states := make([]string, 0, s.cluster.N())
+		for _, st := range s.cluster.Stats() {
+			states = append(states, st.Breaker.String())
+		}
+		body["shard_breakers"] = states
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReadyz is the readiness probe: reaching the Server at all means
@@ -569,10 +631,51 @@ func (s *Server) renderPlanCache(sb *strings.Builder) {
 	fmt.Fprintf(sb, "qaserve_plancache_result_hits_total %d\n", resultHits)
 }
 
+// renderShards writes the per-shard failure-domain counters and
+// breaker states, read from the cluster at scrape time. Single-store
+// servers emit nothing (no fabricated zero-shard series).
+func (s *Server) renderShards(sb *strings.Builder) {
+	if s.cluster == nil {
+		return
+	}
+	stats := s.cluster.Stats()
+	fmt.Fprintf(sb, "# HELP qaserve_shard_attempts_total Shard read attempts (hedges included) by shard.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_shard_attempts_total counter\n")
+	for i, st := range stats {
+		fmt.Fprintf(sb, "qaserve_shard_attempts_total{shard=\"%d\"} %d\n", i, st.Attempts)
+	}
+	fmt.Fprintf(sb, "# HELP qaserve_shard_hedges_total Hedged second attempts launched, by shard.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_shard_hedges_total counter\n")
+	for i, st := range stats {
+		fmt.Fprintf(sb, "qaserve_shard_hedges_total{shard=\"%d\"} %d\n", i, st.Hedges)
+	}
+	fmt.Fprintf(sb, "# HELP qaserve_shard_retries_total Backoff retries after failed attempts, by shard.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_shard_retries_total counter\n")
+	for i, st := range stats {
+		fmt.Fprintf(sb, "qaserve_shard_retries_total{shard=\"%d\"} %d\n", i, st.Retries)
+	}
+	fmt.Fprintf(sb, "# HELP qaserve_shard_failures_total Shard calls that exhausted the retry ladder, by shard.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_shard_failures_total counter\n")
+	for i, st := range stats {
+		fmt.Fprintf(sb, "qaserve_shard_failures_total{shard=\"%d\"} %d\n", i, st.Failures)
+	}
+	fmt.Fprintf(sb, "# HELP qaserve_shard_breaker_rejects_total Shard calls rejected by an open circuit breaker, by shard.\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_shard_breaker_rejects_total counter\n")
+	for i, st := range stats {
+		fmt.Fprintf(sb, "qaserve_shard_breaker_rejects_total{shard=\"%d\"} %d\n", i, st.BreakerRejects)
+	}
+	fmt.Fprintf(sb, "# HELP qaserve_shard_breaker_state Circuit breaker state by shard (0 closed, 1 open, 2 half-open).\n")
+	fmt.Fprintf(sb, "# TYPE qaserve_shard_breaker_state gauge\n")
+	for i, st := range stats {
+		fmt.Fprintf(sb, "qaserve_shard_breaker_state{shard=\"%d\"} %d\n", i, int(st.Breaker))
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var sb strings.Builder
 	s.m.render(&sb)
 	s.renderPlanCache(&sb)
+	s.renderShards(&sb)
 	s.renderResilience(&sb)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(sb.String()))

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sparql"
+)
+
+// benchCluster builds the benchmark fixture: a 4-shard cluster over a
+// mid-sized graph plus the query workload.
+func benchCluster(b *testing.B, cfg Config) (*Cluster, []*sparql.Query) {
+	b.Helper()
+	src, props := testStore(newRand(99), 300, 5)
+	return NewCluster(src, 4, cfg), workload(props)
+}
+
+// BenchmarkGatherHealthy: the full workload through a healthy 4-shard
+// gather view (the scatter/merge overhead baseline; compare with the
+// single-store session benchmarks in internal/sparql).
+func BenchmarkGatherHealthy(b *testing.B) {
+	c, qs := benchCluster(b, fastConfig())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.NewView(ctx)
+		runWorkload(b, ctx, sparql.NewViewSession(v).WithPlanCache(nil), qs)
+	}
+}
+
+// BenchmarkGatherOneSlowShard: shard 1 pays an injected latency on
+// every attempt; hedging is live. Measures the tail a slow shard
+// imposes on the gather.
+func BenchmarkGatherOneSlowShard(b *testing.B) {
+	cfg := fastConfig()
+	cfg.HedgeDelay = 2 * time.Millisecond
+	cfg.MinHedgeDelay = 2 * time.Millisecond
+	c, qs := benchCluster(b, cfg)
+	in := chaos.New(1, chaos.Rule{
+		Point: "shard.query.1", Kind: chaos.KindLatency,
+		Latency: time.Millisecond, Prob: 0.5,
+	})
+	ctx := chaos.With(context.Background(), in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.NewView(ctx)
+		runWorkload(b, ctx, sparql.NewViewSession(v).WithPlanCache(nil), qs)
+	}
+}
+
+// BenchmarkGatherDegraded: shard 1 is dead and the caller opted into
+// partial answers — the cost of answering from the surviving shards.
+func BenchmarkGatherDegraded(b *testing.B) {
+	cfg := fastConfig()
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = 1 << 30 // keep every iteration on the failure path
+	c, qs := benchCluster(b, cfg)
+	in := chaos.New(1, chaos.Rule{Point: "shard.query.1", Kind: chaos.KindError, Prob: 1})
+	ctx := WithPartialOK(chaos.With(context.Background(), in))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.NewView(ctx)
+		runWorkload(b, ctx, sparql.NewViewSession(v).WithPlanCache(nil), qs)
+	}
+}

@@ -1,0 +1,141 @@
+// Per-shard circuit breaker.
+//
+// The breaker sits in front of every shard call (domain.run): closed
+// passes calls through and counts consecutive failures; after
+// BreakerThreshold consecutive failures it opens and rejects calls
+// instantly — a dead shard stops costing a full retry ladder per read
+// — until the cooldown elapses, when it admits exactly one half-open
+// probe. A successful probe closes the breaker and resets the
+// cooldown to its base; a failed probe re-opens it with the cooldown
+// doubled (capped at BreakerMaxCooldown), so a shard that stays down
+// is probed geometrically less often. All timing reads the injected
+// clock, so the transition tests in breaker_test.go drive it without
+// a single sleep.
+
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a breaker's position, exported for the
+// qaserve_shard_breaker_state metric gauge.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls pass through, failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is in flight; other calls are rejected.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and the /healthz payload.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one shard's circuit breaker. All fields are guarded by
+// mu; time enters only through the now values the caller passes in.
+type breaker struct {
+	threshold    int
+	baseCooldown time.Duration
+	maxCooldown  time.Duration
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int           // consecutive failures while closed
+	cooldown  time.Duration // current open interval (doubles per failed probe)
+	openUntil time.Time     // when open, the earliest half-open probe time
+	probing   bool          // a half-open probe is in flight
+}
+
+func newBreaker(cfg Config) *breaker {
+	return &breaker{
+		threshold:    cfg.BreakerThreshold,
+		baseCooldown: cfg.BreakerCooldown,
+		maxCooldown:  cfg.BreakerMaxCooldown,
+		cooldown:     cfg.BreakerCooldown,
+	}
+}
+
+// allow reports whether a call may proceed at time now. In the open
+// state it transitions to half-open once the cooldown has elapsed and
+// admits exactly one probe; concurrent calls during the probe are
+// rejected.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: single probe already admitted
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed call: it closes the breaker (from any
+// state) and resets the failure count and cooldown.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.cooldown = b.baseCooldown
+}
+
+// failure records a failed call at time now. Closed: count it and
+// open at the threshold. Half-open: the probe failed — re-open with
+// the cooldown doubled (capped).
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openUntil = now.Add(b.cooldown)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		b.cooldown *= 2
+		if b.cooldown > b.maxCooldown {
+			b.cooldown = b.maxCooldown
+		}
+		b.state = BreakerOpen
+		b.openUntil = now.Add(b.cooldown)
+	case BreakerOpen:
+		// Late failure from a call admitted before the trip: the
+		// breaker is already open, keep its schedule.
+	}
+}
+
+// State returns the current state (for metrics and health payloads).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/sparql"
+	"repro/internal/store"
+)
+
+// deadShardConfig fails fast: one attempt, no hedging, so a
+// chaos-killed shard costs one error per read.
+func deadShardConfig() Config {
+	cfg := fastConfig()
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = 1 << 30 // keep the breaker out of these tests
+	return cfg
+}
+
+// TestDegradedEqualsEmptyShardOracle: with shard 1 chaos-killed and
+// the caller opted into partial answers, every query answers exactly
+// what a healthy cluster whose shard 1 is empty would answer, and the
+// outcome reports the degraded shape.
+func TestDegradedEqualsEmptyShardOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	src, props := testStore(rng, 80, 4)
+	qs := workload(props)
+	const n = 3
+
+	in := chaos.New(1, chaos.Rule{Point: "shard.query.1", Kind: chaos.KindError, Prob: 1})
+	ctx := WithPartialOK(chaos.With(context.Background(), in))
+
+	degraded := NewCluster(src, n, deadShardConfig())
+	dv := degraded.NewView(ctx)
+	got := runWorkload(t, ctx, sparql.NewViewSession(dv).WithPlanCache(nil), qs)
+
+	oracle := NewCluster(src, n, fastConfig())
+	oracle.EmptyShardForTest(1)
+	ov := oracle.NewView(context.Background())
+	want := runWorkload(t, context.Background(), sparql.NewViewSession(ov).WithPlanCache(nil), qs)
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: degraded answer diverged from empty-shard oracle:\ndegraded: %s\noracle:   %s",
+				i, got[i], want[i])
+		}
+	}
+	out := dv.Outcome()
+	if !out.Degraded || out.ShardsTotal != n || out.ShardsAnswered != n-1 {
+		t.Fatalf("degraded outcome = %+v, want total=%d answered=%d degraded", out, n, n-1)
+	}
+	if err := dv.Err(); err != nil {
+		t.Fatalf("partial-mode view latched a fail-fast error: %v", err)
+	}
+	// The oracle itself is healthy — empty is not degraded.
+	if out := ov.Outcome(); out.Degraded {
+		t.Fatalf("empty-shard oracle reported degraded: %+v", out)
+	}
+}
+
+// TestFailFastLatchesErrUnavailable: without the partial opt-in, the
+// first failed shard read latches an ErrUnavailable-wrapped sticky
+// error and every later read of the view returns empty immediately
+// (no further shard attempts).
+func TestFailFastLatchesErrUnavailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	src, props := testStore(rng, 60, 3)
+	const n = 2
+	in := chaos.New(1, chaos.Rule{Point: "shard.query.*", Kind: chaos.KindError, Prob: 1})
+	ctx := chaos.With(context.Background(), in)
+
+	c := NewCluster(src, n, deadShardConfig())
+	v := c.NewView(ctx)
+	sess := sparql.NewViewSession(v).WithPlanCache(nil)
+	if _, err := sess.ExecuteCtx(ctx, workload(props)[0]); err != nil {
+		t.Fatalf("executor surfaced a hard error instead of empty rows: %v", err)
+	}
+	err := v.Err()
+	if err == nil || !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("view error = %v, want ErrUnavailable", err)
+	}
+	// Sticky: later reads stop attempting shards entirely.
+	before := c.Stats()[0].Attempts + c.Stats()[1].Attempts
+	runWorkload(t, ctx, sess, workload(props))
+	after := c.Stats()[0].Attempts + c.Stats()[1].Attempts
+	if after != before {
+		t.Fatalf("fail-fast view kept attempting shards: %d -> %d attempts", before, after)
+	}
+	// A shard crash (panic) degrades the same way, never crashes the
+	// coordinator.
+	inP := chaos.New(2, chaos.Rule{Point: "shard.query.*", Kind: chaos.KindPanic, Prob: 1})
+	vp := c.NewView(chaos.With(context.Background(), inP))
+	vp.ForEachMatchIDs([3]store.ID{}, func(s, p, o store.ID) bool { return true })
+	if err := vp.Err(); err == nil || !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("panic attempt: view error = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestDegradedViewNeverMemoEligible: even a healthy gather view must
+// refuse the bound-result memo (a later degraded view at the same
+// (UID, Gen) would otherwise replay the healthy answer as its own).
+func TestDegradedViewNeverMemoEligible(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	src, _ := testStore(rng, 20, 2)
+	c := NewCluster(src, 2, fastConfig())
+	v := c.NewView(context.Background())
+	if v.ResultMemoEligible() {
+		t.Fatal("gather view claims bound-result memo eligibility")
+	}
+}
+
+// Recovery: after the chaos clears, a fresh view over the same
+// cluster answers undegraded and byte-identical to the source.
+func TestRecoveryAfterChaosClears(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	src, props := testStore(rng, 50, 3)
+	qs := workload(props)
+	const n = 3
+	c := NewCluster(src, n, deadShardConfig())
+
+	in := chaos.New(1, chaos.Rule{Point: "shard.query.1", Kind: chaos.KindError, Prob: 1})
+	badCtx := WithPartialOK(chaos.With(context.Background(), in))
+	bv := c.NewView(badCtx)
+	runWorkload(t, badCtx, sparql.NewViewSession(bv).WithPlanCache(nil), qs)
+	if out := bv.Outcome(); !out.Degraded {
+		t.Fatalf("chaos run not degraded: %+v", out)
+	}
+
+	in.Disable()
+	ctx := context.Background()
+	gv := c.NewView(ctx)
+	got := runWorkload(t, ctx, sparql.NewViewSession(gv).WithPlanCache(nil), qs)
+	want := runWorkload(t, ctx, sparql.NewSession(src).WithPlanCache(nil), qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recovered query %d diverged: %s vs %s", i, got[i], want[i])
+		}
+	}
+	if out := gv.Outcome(); out.Degraded || out.ShardsAnswered != n {
+		t.Fatalf("recovered outcome = %+v", out)
+	}
+}

@@ -1,0 +1,272 @@
+// The per-shard failure domain: every triple-data read of a shard
+// crosses exactly one domain.run call, which layers (inside out):
+//
+//   - the attempt itself, run in its own goroutine with a recover()
+//     net (a chaos-injected shard panic becomes an attempt error, not
+//     a process crash) and the chaos points shard.query.<i> (every
+//     attempt) and shard.hedge (hedged attempts only);
+//   - a per-attempt timeout: min(AttemptTimeout, remaining request
+//     deadline) — retries and hedges can never outspend the caller's
+//     X-Request-Budget;
+//   - a hedged second attempt, launched when the primary is still
+//     running after the shard's observed p95 latency (a ring of the
+//     last 64 call latencies; Config.HedgeDelay until the ring has
+//     enough samples, floored at MinHedgeDelay so microsecond
+//     in-process scans do not hedge every call). First result wins;
+//     the loser's context is cancelled;
+//   - capped exponential backoff with equal jitter between attempts
+//     (MaxAttempts total), waiting on the injected After so tests
+//     drive it;
+//   - the circuit breaker (breaker.go) around the whole ladder: only
+//     the final outcome of a run counts toward the consecutive-failure
+//     trip, and an open breaker rejects the run before any attempt.
+//
+// Every duration read goes through cfg.Now/cfg.After (the clockinject
+// invariant) and every random draw through a per-domain seeded RNG,
+// so a chaos soak replays identically from its seed.
+
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/store"
+)
+
+// latencyRing is how many recent call latencies feed the adaptive
+// hedge delay.
+const latencyRing = 64
+
+// hedgeMinSamples is how many observations the ring needs before the
+// p95 estimate replaces Config.HedgeDelay.
+const hedgeMinSamples = 8
+
+// shardOp is one read operation against a pinned shard snapshot,
+// executed inside the failure domain (ops.go defines them all).
+type shardOp func(ctx context.Context, sn *store.Snapshot) (any, error)
+
+// attemptOutcome carries one attempt's result over its channel.
+type attemptOutcome struct {
+	val any
+	err error
+}
+
+// domain is one shard's failure domain: breaker, retry/hedge state
+// and metrics.
+type domain struct {
+	i     int // shard index, for chaos points and error text
+	cfg   Config
+	br    *breaker
+	m     shardMetrics
+	point string // chaos point name, "shard.query.<i>"
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	ring  [latencyRing]time.Duration
+	ringN int // total latencies ever observed
+}
+
+func newDomain(i int, cfg Config) *domain {
+	return &domain{
+		i:     i,
+		cfg:   cfg,
+		br:    newBreaker(cfg),
+		point: "shard.query." + strconv.Itoa(i),
+		rng:   rand.New(rand.NewSource(cfg.Seed + int64(i))),
+	}
+}
+
+// run executes op against sn through the full failure domain and
+// reports the final outcome to the breaker.
+func (d *domain) run(ctx context.Context, sn *store.Snapshot, op shardOp) (any, error) {
+	if !d.br.allow(d.cfg.Now()) {
+		d.m.breakerRejects.Add(1)
+		return nil, fmt.Errorf("shard %d: circuit breaker open", d.i)
+	}
+	val, err := d.attempts(ctx, sn, op)
+	if err != nil {
+		d.m.failures.Add(1)
+		d.br.failure(d.cfg.Now())
+		return nil, err
+	}
+	d.br.success()
+	return val, nil
+}
+
+// attempts runs the retry ladder: up to MaxAttempts hedged attempts
+// separated by capped exponential backoff with equal jitter.
+func (d *domain) attempts(ctx context.Context, sn *store.Snapshot, op shardOp) (any, error) {
+	backoff := d.cfg.BaseBackoff
+	var lastErr error
+	for a := 0; a < d.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			d.m.retries.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-d.cfg.After(d.jitter(backoff)):
+			}
+			backoff *= 2
+			if backoff > d.cfg.MaxBackoff {
+				backoff = d.cfg.MaxBackoff
+			}
+		}
+		val, err := d.hedgedAttempt(ctx, sn, op)
+		if err == nil {
+			return val, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the request is gone; stop burning attempts
+		}
+	}
+	return nil, lastErr
+}
+
+// hedgedAttempt runs one attempt with a hedged backup: the primary
+// starts immediately; if it is still running after hedgeDelay, a
+// second identical attempt starts and the first successful result
+// wins (the loser's context is cancelled). The whole pair shares one
+// per-attempt timeout derived from the remaining request deadline.
+func (d *domain) hedgedAttempt(ctx context.Context, sn *store.Snapshot, op shardOp) (any, error) {
+	timeout := d.cfg.AttemptTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		rem := dl.Sub(d.cfg.Now())
+		if rem <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		if rem < timeout {
+			timeout = rem
+		}
+	}
+	start := d.cfg.Now()
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	primary := d.launch(pctx, sn, op, false)
+	var hedged <-chan attemptOutcome
+	var hcancel context.CancelFunc
+	defer func() {
+		if hcancel != nil {
+			hcancel()
+		}
+	}()
+	hedgeTimer := d.cfg.After(d.hedgeDelay())
+	timeoutTimer := d.cfg.After(timeout)
+	var lastErr error
+	for {
+		select {
+		case out := <-primary:
+			primary = nil
+			if out.err == nil {
+				d.observe(d.cfg.Now().Sub(start))
+				return out.val, nil
+			}
+			lastErr = out.err
+			if hedged == nil {
+				return nil, lastErr
+			}
+		case out := <-hedged:
+			hedged = nil
+			if out.err == nil {
+				d.observe(d.cfg.Now().Sub(start))
+				return out.val, nil
+			}
+			lastErr = out.err
+			if primary == nil {
+				return nil, lastErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if primary == nil || hedged != nil {
+				continue
+			}
+			d.m.hedges.Add(1)
+			hctx, cancel := context.WithCancel(ctx)
+			hcancel = cancel // released by the deferred loser cleanup
+			hedged = d.launch(hctx, sn, op, true)
+		case <-timeoutTimer:
+			return nil, fmt.Errorf("shard %d: attempt timed out after %v", d.i, timeout)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// launch starts one attempt goroutine. The buffered channel lets an
+// abandoned loser deliver its outcome and exit without a receiver;
+// the recover net converts a chaos-injected shard panic into an
+// attempt error so one crashing shard degrades, never crashes, the
+// coordinator.
+func (d *domain) launch(ctx context.Context, sn *store.Snapshot, op shardOp, hedge bool) <-chan attemptOutcome {
+	d.m.attempts.Add(1)
+	ch := make(chan attemptOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- attemptOutcome{err: fmt.Errorf("shard %d: attempt crashed: %v", d.i, r)}
+			}
+		}()
+		if err := chaos.HitCtx(ctx, d.point); err != nil {
+			ch <- attemptOutcome{err: err}
+			return
+		}
+		if hedge {
+			if err := chaos.HitCtx(ctx, "shard.hedge"); err != nil {
+				ch <- attemptOutcome{err: err}
+				return
+			}
+		}
+		val, err := op(ctx, sn)
+		ch <- attemptOutcome{val: val, err: err}
+	}()
+	return ch
+}
+
+// jitter draws the equal-jitter backoff: uniform in [b/2, b).
+func (d *domain) jitter(b time.Duration) time.Duration {
+	if b <= 1 {
+		return b
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	half := b / 2
+	return half + time.Duration(d.rng.Int63n(int64(half)))
+}
+
+// observe records a successful call latency in the ring.
+func (d *domain) observe(lat time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ring[d.ringN%latencyRing] = lat
+	d.ringN++
+}
+
+// hedgeDelay returns the adaptive hedging delay: the p95 of the
+// latency ring once it has hedgeMinSamples observations, floored at
+// MinHedgeDelay; Config.HedgeDelay before that.
+func (d *domain) hedgeDelay() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.ringN
+	if n > latencyRing {
+		n = latencyRing
+	}
+	if n < hedgeMinSamples {
+		return d.cfg.HedgeDelay
+	}
+	lat := make([]time.Duration, n)
+	copy(lat, d.ring[:n])
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	p := lat[(n*95)/100]
+	if p < d.cfg.MinHedgeDelay {
+		p = d.cfg.MinHedgeDelay
+	}
+	return p
+}

@@ -1,0 +1,87 @@
+// The shard-side read operations. This file is the only place in the
+// package that reads triple data off a shard snapshot (HasIDs /
+// ForEachMatchIDs / PostingList / the build-time partition scan) —
+// the sharddomain qalint invariant. Everything here runs inside an
+// attempt goroutine under the failure domain (domain.launch), so a
+// chaos-injected panic or latency at these call sites exercises the
+// exact production path.
+
+package shard
+
+import (
+	"context"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// scanCheckEvery is how many matches a shard scan buffers between
+// context checks: a cancelled or timed-out request stops paying for a
+// large scan within this many matches.
+const scanCheckEvery = 512
+
+// opScan buffers one shard's matches of pat as a flat [s,p,o ...]
+// slice in the snapshot's deterministic per-case order. The gather
+// view merges these partials back into the exact single-store stream.
+func opScan(ctx context.Context, sn *store.Snapshot, pat [3]store.ID) (any, error) {
+	est := sn.EstimateCardinalityIDs(pat)
+	buf := make([]store.ID, 0, 3*est)
+	n := 0
+	var scanErr error
+	sn.ForEachMatchIDs(pat, func(s, p, o store.ID) bool {
+		buf = append(buf, s, p, o)
+		n++
+		if n%scanCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return buf, nil
+}
+
+// opHas answers a ground-triple existence check on one shard.
+func opHas(ctx context.Context, sn *store.Snapshot, s, p, o store.ID) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sn.HasIDs(s, p, o), nil
+}
+
+// opPostingList returns one shard's posting list for a two-bound
+// pattern, copied out of the snapshot (the caller may outlive the
+// attempt; aliasing index memory across the domain boundary would tie
+// result lifetime to shard snapshot pinning).
+func opPostingList(ctx context.Context, sn *store.Snapshot, pat [3]store.ID) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lst, ok := sn.PostingList(pat)
+	if !ok {
+		return []store.ID(nil), nil
+	}
+	out := make([]store.ID, len(lst))
+	copy(out, lst)
+	return out, nil
+}
+
+// partitionTriples splits sn's full contents into n subject-routed
+// triple slices (the cluster build path). Scan order is ascending
+// subject, so each shard's slice arrives pre-sorted for its AddAll.
+func partitionTriples(sn *store.Snapshot, n int) [][]rdf.Triple {
+	parts := make([][]rdf.Triple, n)
+	terms := sn.TermsView()
+	sn.ForEachMatchIDs([3]store.ID{}, func(s, p, o store.ID) bool {
+		i := shardOf(s, n)
+		parts[i] = append(parts[i], rdf.Triple{
+			S: terms[s-1], P: terms[p-1], O: terms[o-1],
+		})
+		return true
+	})
+	return parts
+}

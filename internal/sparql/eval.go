@@ -145,7 +145,7 @@ type cpat struct {
 // every pattern block resolved to IDs against the pinned snapshot.
 type executor struct {
 	sess  *Session
-	snap  *store.Snapshot // the session's pinned snapshot
+	snap  StoreView // the session's pinned store view
 	q     *Query
 	ctx   context.Context // cancellation, checked between join steps
 	terms []rdf.Term      // snap.TermsView(): terms[id-1] materialises an ID

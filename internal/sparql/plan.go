@@ -323,16 +323,22 @@ type planEntry struct {
 	memoIDs int                    // total IDs held by results; guarded by mu
 }
 
-// memoResult is one memoized execution result in ID space. COUNT
-// aggregates are not memoized (their results are materialised-only
-// synthesised literals, and the aggregation retry path is cold), so a
-// memoResult is either an ASK boolean or a columnar SELECT payload.
+// memoResult is one memoized execution result: an ASK boolean, a
+// columnar SELECT payload, or a COUNT aggregate scalar (the count is a
+// synthesised literal with no dictionary ID, so it is carried as the
+// term itself plus its projection name — sound under the same
+// generation stamp as everything else, since any store write evicts
+// the entry).
 type memoResult struct {
 	ask     bool // FormAsk: boolean is the payload, rows unused
 	boolean bool
 	vars    []string
 	rows    []store.ID // private copy; copied again on every hit
 	nrows   int
+
+	count     bool // COUNT aggregate: countTerm/countAs are the payload
+	countAs   string
+	countTerm rdf.Term
 }
 
 // materialize rebuilds a fresh Result from the memo over the session's
@@ -341,6 +347,10 @@ type memoResult struct {
 func (mr *memoResult) materialize(terms []rdf.Term) *Result {
 	if mr.ask {
 		return &Result{Form: FormAsk, Boolean: mr.boolean}
+	}
+	if mr.count {
+		row := Binding{mr.countAs: mr.countTerm}
+		return newMaterializedResult(FormSelect, []string{mr.countAs}, []Binding{row})
 	}
 	rows := make([]store.ID, len(mr.rows))
 	copy(rows, mr.rows)
@@ -356,18 +366,27 @@ func (e *planEntry) cached(key string) (*memoResult, bool) {
 }
 
 // maybeStore memoizes a completed execution's result under the bind
-// key, within the entry's bounds. Oversized results and COUNT
-// aggregates are skipped; a concurrent duplicate store is a no-op (the
-// two computed identical results — snapshot immutability).
+// key, within the entry's bounds. Oversized results are skipped; a
+// concurrent duplicate store is a no-op (the two computed identical
+// results — snapshot immutability).
 func (e *planEntry) maybeStore(key string, res *Result, q *Query) {
-	if q.Count != nil {
-		return
-	}
 	mr := &memoResult{}
 	n := 0
-	if q.Form == FormAsk {
+	switch {
+	case q.Count != nil:
+		// The aggregate is a single synthesised-literal row; memoize the
+		// scalar itself (there are no IDs to copy).
+		if res.Len() != 1 {
+			return
+		}
+		t, ok := res.Solutions()[0][q.Count.As]
+		if !ok {
+			return
+		}
+		mr.count, mr.countAs, mr.countTerm = true, q.Count.As, t
+	case q.Form == FormAsk:
 		mr.ask, mr.boolean = true, res.Boolean
-	} else {
+	default:
 		if len(res.Rows) > maxMemoResultIDs {
 			return
 		}
@@ -444,11 +463,17 @@ func (s *Session) planFor(q *Query) (*planShape, *planEntry) {
 	gen := s.snap.Gen()
 	if e, ok := pc.c.Get(key, gen); ok {
 		s.planHits.Add(1)
+		if !resultMemoEligible(s.snap) {
+			return e.shape, nil // share the shape, bypass the result memo
+		}
 		return e.shape, e
 	}
 	s.planMisses.Add(1)
 	e := &planEntry{shape: buildShape(q)}
 	pc.c.Put(key, gen, e)
+	if !resultMemoEligible(s.snap) {
+		return e.shape, nil
+	}
 	return e.shape, e
 }
 

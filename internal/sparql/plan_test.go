@@ -478,3 +478,56 @@ func TestResultMemoAsk(t *testing.T) {
 		t.Fatalf("ASK repeat not memoized: %+v", ps)
 	}
 }
+
+// TestResultMemoCount: COUNT aggregates memoize their scalar (ROADMAP
+// plan-cache follow-up (a)) — repeated identical COUNT candidates
+// replay from the bound-result memo, and the replay is byte-identical
+// to a cache-disabled execution across a randomized workload.
+func TestResultMemoCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(90210))
+	st, _ := randStore(rng, 140, 4)
+	queries := []*Query{
+		MustParse(`SELECT (COUNT(?x) AS ?n) WHERE { ?x dbont:p0 ?y . }`),
+		MustParse(`SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE { ?x dbont:p1 ?y . }`),
+		MustParse(`SELECT (COUNT(*) AS ?n) WHERE { ?x a dbont:Person . ?x dbont:p2 ?y . }`),
+		MustParse(`SELECT (COUNT(?y) AS ?c) WHERE { ?x dbont:p3 ?y . }`),
+	}
+	cached := NewSession(st).WithPlanCache(NewPlanCache(16))
+	bare := NewSession(st).WithPlanCache(nil)
+	for qi, q := range queries {
+		want, err := bare.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 3; pass++ { // passes 1-2 replay the memo
+			got, err := cached.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g, w := resultKey(got), resultKey(want); g != w {
+				t.Fatalf("query %d pass %d: COUNT-cached %q != COUNT-bare %q", qi, pass, g, w)
+			}
+		}
+	}
+	if ps := cached.PlanStats(); ps.ResultHits != uint64(2*len(queries)) {
+		t.Fatalf("COUNT repeats not memoized: ResultHits = %d, want %d",
+			ps.ResultHits, 2*len(queries))
+	}
+	// A write evicts the memoized scalar with everything else.
+	st.Add(rdf.Triple{S: rdf.Res("fresh"), P: rdf.Ont("p0"), O: rdf.NewInteger(7)})
+	s2 := NewSession(st).WithPlanCache(cached.plans)
+	r, err := s2.Execute(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := s2.PlanStats(); ps.ResultHits != 0 {
+		t.Fatalf("stale COUNT memo replayed across a write: %+v", ps)
+	}
+	fresh, err := NewSession(st).WithPlanCache(nil).Execute(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultKey(r) != resultKey(fresh) {
+		t.Fatal("post-write COUNT diverged from fresh execution")
+	}
+}

@@ -82,7 +82,7 @@ type scanEntry struct {
 // sound. The zero value is not usable — build one with NewSession or
 // NewSnapshotSession.
 type Session struct {
-	snap  *store.Snapshot
+	snap  StoreView
 	terms []rdf.Term
 	plans *PlanCache // global plan-shape cache; nil = caching disabled
 
@@ -113,7 +113,15 @@ func NewSession(st *store.Store) *Session {
 // consult the process-wide plan cache by default; WithPlanCache
 // overrides (or, with nil, disables) that.
 func NewSnapshotSession(snap *store.Snapshot) *Session {
-	return &Session{snap: snap, terms: snap.TermsView(),
+	return NewViewSession(snap)
+}
+
+// NewViewSession returns a session over any frozen StoreView — a
+// pinned snapshot or the sharded gather view (internal/shard). The
+// whole executor reads through the view; see view.go for the contract
+// the view must honour.
+func NewViewSession(v StoreView) *Session {
+	return &Session{snap: v, terms: v.TermsView(),
 		plans: defaultPlanCache, budget: scanBudget}
 }
 
@@ -151,9 +159,9 @@ func (s *Session) PlanStats() PlanStatsSnapshot {
 	}
 }
 
-// Snapshot returns the pinned snapshot every query of this session
+// View returns the pinned store view every query of this session
 // reads.
-func (s *Session) Snapshot() *store.Snapshot { return s.snap }
+func (s *Session) View() StoreView { return s.snap }
 
 // Execute runs the query through the session.
 func (s *Session) Execute(q *Query) (*Result, error) {

@@ -1,0 +1,80 @@
+// The store-view abstraction the executor reads through.
+//
+// Every read the executor and its Session perform — constant
+// resolution, dictionary views, term-rank permutations, index scans,
+// posting lists, cardinality estimates — goes through the StoreView
+// interface instead of a concrete *store.Snapshot. A single-process
+// deployment still executes directly over a pinned snapshot
+// (*store.Snapshot satisfies the interface with no adapter); the
+// sharded scatter-gather tier (internal/shard) substitutes a gather
+// view that keeps dictionary and statistics reads coordinator-local
+// and scatters only the triple-data reads to shards. The executor
+// cannot tell the difference: a view must provide the same frozen,
+// immutable semantics a snapshot does — identical answers for the
+// lifetime of the view, deterministic scan order per pattern case —
+// which is what keeps every differential oracle (session ≡ fresh,
+// plan-cache ≡ fresh-compile, N-shard ≡ single-store) meaningful.
+
+package sparql
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// StoreView is the frozen read surface one Session executes over. All
+// methods must be safe for concurrent use and answer identically for
+// the lifetime of the view (snapshot semantics). *store.Snapshot is
+// the canonical implementation; internal/shard's gather view is the
+// distributed one.
+type StoreView interface {
+	// Len returns the number of distinct triples in the view.
+	Len() int
+	// Gen returns the write-batch generation the view was pinned at.
+	Gen() uint64
+	// UID returns the owning store's process-unique identity; (UID,
+	// Gen) identifies the view's contents process-wide (the
+	// bound-result memo keys on it).
+	UID() uint64
+	// Lookup resolves a term to its dictionary ID.
+	Lookup(t rdf.Term) (store.ID, bool)
+	// TermsView returns the read-only dictionary view: TermsView()[id-1]
+	// is the term for id.
+	TermsView() []rdf.Term
+	// TermRanks returns the term-rank permutation (see
+	// store.Snapshot.TermRanks for the contract).
+	TermRanks() (ranks []uint32, order []store.ID)
+	// HasIDs reports whether the ground ID triple is present.
+	HasIDs(s, p, o store.ID) bool
+	// ForEachMatchIDs streams the matches of an ID pattern (0 =
+	// wildcard) in the snapshot's deterministic per-case scan order.
+	ForEachMatchIDs(pat [3]store.ID, fn func(s, p, o store.ID) bool)
+	// EstimateCardinalityIDs returns the exact match count of an ID
+	// pattern in O(1).
+	EstimateCardinalityIDs(pat [3]store.ID) int
+	// PostingList returns the sorted free-position posting list of a
+	// two-bound pattern (see store.Snapshot.PostingList).
+	PostingList(pat [3]store.ID) ([]store.ID, bool)
+}
+
+// memoEligible is the optional StoreView extension gating the
+// plan-cache bound-result memo. Memoized results are replayed for any
+// later session at the same (UID, Gen) — sound only when equal
+// (UID, Gen) implies equal answers. A degraded gather view breaks
+// that implication (two views at one generation can differ in which
+// shards answered), so it reports false and its executions bypass the
+// memo in both directions; the shape half of the cache is unaffected.
+// Views that do not implement the extension are eligible.
+type memoEligible interface {
+	ResultMemoEligible() bool
+}
+
+// resultMemoEligible reports whether the bound-result memo may serve
+// and store results computed over v.
+func resultMemoEligible(v StoreView) bool {
+	me, ok := v.(memoEligible)
+	return !ok || me.ResultMemoEligible()
+}
+
+// interface conformance: the canonical single-store view.
+var _ StoreView = (*store.Snapshot)(nil)

@@ -229,11 +229,38 @@ func termShard(t rdf.Term) int {
 // as a plain pointer (writers copy Snapshot by value, so the box must
 // be copyable) and is built at most once per generation via the
 // sync.Once; every session pinning the snapshot shares the build.
+//
+// Tables chain: a dictionary-growing commit links the new snapshot's
+// (empty) table to the previous snapshot's via prev/prevTerms. If the
+// previous table was ever built, TermRanks sorts only the new-ID
+// suffix and merges it into the existing permutation instead of
+// re-sorting the whole dictionary — under sustained update churn the
+// per-write cost is O(new·log new + dict) instead of
+// O(dict·log dict) with full term comparisons. The chain depth is
+// capped (maxRankChain) so a long run of never-ranked writes cannot
+// accumulate unbounded table boxes, and a built table drops its prev
+// link to release the chain behind it.
 type rankTable struct {
-	once  sync.Once
+	once      sync.Once
+	data      atomic.Pointer[rankData]
+	prev      *rankTable // previous generation's table; nil for roots, cleared after build
+	prevTerms int        // dictionary length the prev table covers
+	depth     int        // chain length from the nearest root; bounded by maxRankChain
+}
+
+// rankData is the built permutation, published atomically so a later
+// generation's merge can read a finished build without touching the
+// owning table's once.
+type rankData struct {
 	ranks []uint32 // ranks[id-1] = position of id's term in sort order
 	order []ID     // order[rank] = id; the inverse permutation
 }
+
+// maxRankChain bounds the prev-chain length of unbuilt rank tables: a
+// commit that would chain deeper starts a fresh root (full rebuild on
+// first use) so churn without intervening TermRanks calls cannot
+// accumulate unbounded boxes.
+const maxRankChain = 32
 
 // Snapshot is an immutable, self-consistent view of the store at one
 // write batch boundary. Pin one with Store.Snapshot and read it for as
@@ -349,6 +376,30 @@ func (sn *Snapshot) TermRanks() (ranks []uint32, order []ID) {
 	rt := sn.ranks
 	rt.once.Do(func() {
 		inv := sn.inverse[:len(sn.inverse):len(sn.inverse)]
+		var base *rankData
+		if rt.prev != nil {
+			base = rt.prev.data.Load() // nil when the previous table was never built
+			rt.prev = nil              // release the chain; only base is needed below
+		}
+		ord := buildRankOrder(inv, base, rt.prevTerms)
+		rk := make([]uint32, len(inv))
+		for r, id := range ord {
+			rk[id-1] = uint32(r)
+		}
+		rt.data.Store(&rankData{ranks: rk, order: ord})
+	})
+	d := rt.data.Load()
+	return d.ranks, d.order
+}
+
+// buildRankOrder computes the sorted-ID permutation for a dictionary.
+// With a built base table covering the first prevTerms IDs it sorts
+// only the new-ID suffix and two-way merges it into the base order;
+// otherwise it falls back to the full sort. Compare is a strict total
+// order on distinct terms, so the merge never sees a tie and the
+// result is identical to the full sort.
+func buildRankOrder(inv []rdf.Term, base *rankData, prevTerms int) []ID {
+	if base == nil {
 		ord := make([]ID, len(inv))
 		for i := range ord {
 			ord[i] = ID(i + 1)
@@ -356,13 +407,30 @@ func (sn *Snapshot) TermRanks() (ranks []uint32, order []ID) {
 		sort.Slice(ord, func(a, b int) bool {
 			return inv[ord[a]-1].Compare(inv[ord[b]-1]) < 0
 		})
-		rk := make([]uint32, len(inv))
-		for r, id := range ord {
-			rk[id-1] = uint32(r)
-		}
-		rt.ranks, rt.order = rk, ord
+		return ord
+	}
+	suffix := make([]ID, len(inv)-prevTerms)
+	for i := range suffix {
+		suffix[i] = ID(prevTerms + i + 1)
+	}
+	sort.Slice(suffix, func(a, b int) bool {
+		return inv[suffix[a]-1].Compare(inv[suffix[b]-1]) < 0
 	})
-	return rt.ranks, rt.order
+	ord := make([]ID, 0, len(inv))
+	bo := base.order
+	i, j := 0, 0
+	for i < len(bo) && j < len(suffix) {
+		if inv[bo[i]-1].Compare(inv[suffix[j]-1]) < 0 {
+			ord = append(ord, bo[i])
+			i++
+		} else {
+			ord = append(ord, suffix[j])
+			j++
+		}
+	}
+	ord = append(ord, bo[i:]...)
+	ord = append(ord, suffix[j:]...)
+	return ord
 }
 
 // patternIDs resolves the bound terms of pat to IDs, with ID(0) for
@@ -697,15 +765,18 @@ func (s *Store) Triples() []rdf.Triple {
 // gen-stamping each clone so later writes in the same batch mutate the
 // private copies in place. Callers hold Store.wmu throughout.
 type writer struct {
-	next  Snapshot
-	gen   uint64
-	dirty bool
+	next      Snapshot
+	gen       uint64
+	dirty     bool
+	prevTerms int // dictionary length at begin; detects dictionary growth at commit
 }
 
 // begin opens a write batch. Caller holds wmu.
 func (s *Store) begin() *writer {
 	s.gen++
-	return &writer{next: *s.snap.Load(), gen: s.gen}
+	w := &writer{next: *s.snap.Load(), gen: s.gen}
+	w.prevTerms = len(w.next.inverse)
+	return w
 }
 
 // commit publishes the batch if it changed anything. Caller holds wmu.
@@ -714,10 +785,23 @@ func (s *Store) commit(w *writer) {
 		return
 	}
 	w.next.gen = w.gen
-	// A dirty batch may have grown the dictionary, so the published
-	// snapshot gets a fresh, unbuilt rank box. (SetGen's republish keeps
-	// the old box: identical contents have identical ranks.)
-	w.next.ranks = &rankTable{}
+	if len(w.next.inverse) != w.prevTerms {
+		// The batch grew the dictionary: chain a fresh rank box to the
+		// previous one so the next TermRanks call can merge the sorted
+		// new-ID suffix into an already-built permutation instead of
+		// re-sorting the whole dictionary. Past the depth cap start a
+		// detached root (full rebuild on first use) to bound memory.
+		old := w.next.ranks
+		if old.depth+1 > maxRankChain {
+			w.next.ranks = &rankTable{}
+		} else {
+			w.next.ranks = &rankTable{prev: old, prevTerms: w.prevTerms, depth: old.depth + 1}
+		}
+	}
+	// A batch that left the dictionary unchanged keeps sharing the old
+	// box: identical terms have identical ranks, so the permutation is
+	// built at most once across those generations. (SetGen's republish
+	// shares the box for the same reason.)
 	sn := w.next
 	s.snap.Store(&sn)
 }
@@ -918,6 +1002,26 @@ func (s *Store) AddAll(ts []rdf.Triple) int {
 	}
 	s.commit(w)
 	return n
+}
+
+// InternTerms interns every listed ground term in order as one atomic
+// batch, assigning dense IDs to the ones not already present, without
+// indexing any triples. Interning the full TermsView() of another
+// store into an empty store reproduces its ID assignment exactly —
+// the dictionary-replication primitive the scatter-gather shard tier
+// (internal/shard) uses to keep shard-local IDs equal to the
+// coordinator's global IDs. Variable and zero terms are skipped.
+func (s *Store) InternTerms(terms []rdf.Term) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	w := s.begin()
+	for _, t := range terms {
+		if t.IsZero() || t.IsVar() {
+			continue
+		}
+		w.intern(t)
+	}
+	s.commit(w)
 }
 
 // BatchOp is one ordered operation inside an atomic write batch: an

@@ -24,8 +24,15 @@
 # report planhit% — the plan-cache hit rate over the measured loop —
 # and their steady state now measures the entries' bound-result memo,
 # which replays repeated candidates without re-joining, so the
-# Sequential/Sessionless gap narrows to the first, memo-cold pass) —
-# and emits BENCH_PR9.json with
+# Sequential/Sessionless gap narrows to the first, memo-cold pass),
+# and the sharded scatter-gather tier (PR 10:
+# BenchmarkGatherHealthy is the scatter/merge overhead of a 4-shard
+# gather over the full query workload, BenchmarkGatherOneSlowShard the
+# tail one latency-injected shard imposes with hedging live,
+# BenchmarkGatherDegraded the cost of answering from the survivors
+# under allow_partial; BenchmarkTermRanksChurnIncremental vs
+# BenchmarkTermRanksChurnFullRebuild is the per-batch win of the
+# incremental term-rank maintenance) — and emits BENCH_PR10.json with
 # ns/op and allocs/op per benchmark, so later PRs have a perf
 # trajectory to compare against.
 #
@@ -50,20 +57,27 @@
 #                benchmarks: exercises every tentpole path, produces no
 #                JSON. This is the single place the CI smoke regex
 #                lives; .github/workflows/ci.yml just calls it.
-#   output.json  full run; writes the JSON (default BENCH_PR9.json).
+#   output.json  full run; writes the JSON (default BENCH_PR10.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# The benchmark selections, defined once for every mode.
+# The benchmark selections, defined once for every mode. The root
+# selections run against the repo's root package; bench_pkgs covers
+# the PR 10 benchmarks that live in their own packages (the shard
+# gather tier and the store's term-rank churn pair).
 bench_full='BenchmarkStoreScan(Terms|IDs)$|BenchmarkBGPJoin|BenchmarkTable2QALDEvaluation|BenchmarkExtract(Sequential|Parallel|ParallelMax|Sessionless)$|BenchmarkQALDEvalWorkers4|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$|BenchmarkPlanCache(Hit|Miss)$|BenchmarkRankSort$'
 bench_pair='BenchmarkAnswer(Throughput|Ctx)$'
+bench_pkgs='BenchmarkGather(Healthy|OneSlowShard|Degraded)$|BenchmarkTermRanksChurn(Incremental|FullRebuild)$'
 bench_smoke='BenchmarkStore|BenchmarkExtract(Sequential|Parallel|Sessionless)$|BenchmarkBGPJoin(Idle|UnderLoad)$|BenchmarkAnswerCtx$|BenchmarkServeAnswer(Cached|Uncached)$|BenchmarkWAL(Append|Recovery)$|BenchmarkAdmissionAcquireRelease$|BenchmarkChaosHitDisabled$|BenchmarkPlanCache(Hit|Miss)$|BenchmarkRankSort$'
+bench_pkgs_smoke='BenchmarkGather(Healthy|Degraded)$|BenchmarkTermRanksChurnIncremental$'
 
 if [ "${1:-}" = "smoke" ]; then
-  exec go test -run '^$' -bench "$bench_smoke" -benchtime=20x -benchmem .
+  go test -run '^$' -bench "$bench_smoke" -benchtime=20x -benchmem .
+  exec go test -run '^$' -bench "$bench_pkgs_smoke" -benchtime=5x -benchmem \
+    ./internal/shard/ ./internal/store/
 fi
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 benchtime="${BENCHTIME:-1s}"
 
 raw="$(go test -run '^$' -bench "$bench_full" -benchmem -benchtime="$benchtime" .)"
@@ -75,6 +89,12 @@ rawpair="$(go test -run '^$' -bench "$bench_pair" \
   -benchmem -benchtime="$benchtime" .)"
 
 echo "$rawpair"
+
+# The package-local PR 10 benchmarks (shard gather, term-rank churn).
+rawpkgs="$(go test -run '^$' -bench "$bench_pkgs" \
+  -benchmem -benchtime="$benchtime" ./internal/shard/ ./internal/store/)"
+
+echo "$rawpkgs"
 
 gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
 
@@ -102,6 +122,7 @@ END {
     }
     printf "  }\n}\n"
 }' <<<"$raw
-$rawpair" > "$out"
+$rawpair
+$rawpkgs" > "$out"
 
 echo "wrote $out"

@@ -16,7 +16,12 @@
 #     Limits, fixed seed), absorbs a mixed answer/update workload while
 #     faults fire, must answer everything cleanly once the rules run
 #     dry, and must survive a kill -9 with the last acknowledged
-#     update intact.
+#     update intact;
+#  3. a sharded drill (PR 10): qaserve boots with -shards 3 and a
+#     chaos rule killing shard 1's reads; requests without
+#     allow_partial must answer 503 "shard unavailable", requests with
+#     it must answer degraded 200s stamped shards_answered=2, and once
+#     the rule runs dry the server must answer undegraded again.
 #
 # Usage: scripts/chaos.sh [smoke]
 #
@@ -30,7 +35,7 @@ count=3
 [ "${1:-}" = "smoke" ] && count=1
 
 echo "== chaos soak (in-process, -race, count=$count) =="
-go test -race -run '^TestChaosSoak$' -count="$count" ./internal/qaserve/
+go test -race -run '^TestChaosSoak$|^TestShardChaosSoak$' -count="$count" ./internal/qaserve/
 
 echo "== chaos drill (live binary) =="
 go build -o /tmp/qaserve-chaos ./cmd/qaserve
@@ -112,4 +117,74 @@ curl -fs -X POST -d '{"question":"How tall is Michael Jordan?"}' "http://$ADDR/v
 kill "$PID"
 wait "$PID" 2>/dev/null || true
 trap 'rm -rf "$DATA_DIR"' EXIT
-echo "chaos soak + drill passed"
+
+echo "== sharded drill (3 shards, shard 1 killed by chaos) =="
+# -shards refuses durable mode: sharded serving is in-memory only.
+if /tmp/qaserve-chaos -addr "$ADDR" -shards 2 -data-dir "$DATA_DIR" 2>/dev/null; then
+  echo "-shards with -data-dir should have been rejected" >&2
+  exit 1
+fi
+
+# Shard 1's reads error with prob 1 until the 9-hit budget runs dry —
+# enough for the outage assertions, few enough that recovery does not
+# wait on breaker cooldowns (one request latches the failed shard
+# after a single domain call, so each one burns at most a few hits).
+/tmp/qaserve-chaos -addr "$ADDR" -shards 3 -cache 64 \
+  -chaos 'shard.query.1:error:1::9' -chaos-seed 7 &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
+wait_ready
+
+ask_body() { # question allow_partial -> body (appends "|HTTP code")
+  curl -s -w '|%{http_code}' -X POST "http://$ADDR/v1/answer" \
+    -d "{\"question\":\"$1\",\"allow_partial\":$2}"
+}
+
+# Opt-out: the dead shard must refuse the answer, not degrade it.
+out="$(ask_body "Which book is written by Orhan Pamuk?" false)"
+case "$out" in
+  *'"shard unavailable"'*'|503') ;;
+  *) echo "opt-out during outage: $out (want 503 shard unavailable)" >&2; exit 1 ;;
+esac
+
+# Opt-in: degraded 200s from the two surviving shards, stamped.
+degraded_seen=0
+for i in $(seq 1 5); do
+  out="$(ask_body "Which book is written by Orhan Pamuk? (sharded $i)" true)"
+  case "$out" in
+    *'"degraded":true'*'"shards_total":3'*'"shards_answered":2'*'|200')
+      degraded_seen=1; break ;;
+    *'|200') ;; # rule already dry: healthy answer, acceptable
+    *) echo "opt-in during outage: $out" >&2; exit 1 ;;
+  esac
+done
+[ "$degraded_seen" = 1 ] || { echo "no degraded answer observed during the outage" >&2; exit 1; }
+
+# Recovery: the rule runs dry; fresh questions must answer undegraded
+# (shards_answered back to 3 and no degraded stamp) without opt-in.
+recovered=0
+for i in $(seq 1 30); do
+  out="$(ask_body "Which book is written by Orhan Pamuk? (recovery $i)" false)"
+  case "$out" in
+    *'"degraded":true'*) sleep 0.5 ;;
+    *'"shards_total":3'*'"shards_answered":3'*'|200') recovered=1; break ;;
+    *'|503') sleep 0.5 ;; # breaker cooldown still draining
+    *) echo "recovery probe: $out" >&2; exit 1 ;;
+  esac
+done
+[ "$recovered" = 1 ] || { echo "sharded server never recovered" >&2; exit 1; }
+
+# The ledger: partial answers counted, per-shard breaker state exported,
+# and /healthz reports the shard fan-out.
+metrics="$(curl -fs "http://$ADDR/metrics")"
+echo "$metrics" | grep -q 'qaserve_shard_partial_answers_total [1-9]' \
+  || { echo "partial answers missing from /metrics" >&2; exit 1; }
+echo "$metrics" | grep -q 'qaserve_shard_breaker_state{shard="1"}' \
+  || { echo "breaker state missing from /metrics" >&2; exit 1; }
+curl -fs "http://$ADDR/healthz" | grep -q '"shards":3' \
+  || { echo "healthz missing the shard count" >&2; exit 1; }
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+trap 'rm -rf "$DATA_DIR"' EXIT
+echo "chaos soak + drills passed"
